@@ -1,0 +1,109 @@
+"""Design-choice ablation: JS vs raw-KL structural entropy, and the metric
+mix (feature-only / structure-only / combined).
+
+The paper motivates replacing [50]'s KL divergence with Jensen-Shannon
+because KL is unbounded ("the entropy has no practical meaning when the
+value is too large", Sec. IV-A.2).  This bench quantifies the choice two
+ways:
+
+1. *ranking quality* — the same-class rate among each node's top remote
+   candidates (what the rewiring actually consumes), per metric variant;
+2. *end-task accuracy* — GCN-RARE with JS vs KL structural entropy.
+"""
+
+import numpy as np
+
+from repro.bench import (
+    bench_dataset,
+    bench_rare_config,
+    format_table,
+    run_rare_method,
+    save_results,
+)
+from repro.entropy import RelativeEntropy, build_entropy_sequences
+
+DATASETS = ["chameleon", "cornell"]
+
+
+def same_class_rate(graph, entropy, top=5, max_candidates=12) -> float:
+    """Fraction of top remote candidates sharing the ego node's label."""
+    seqs = build_entropy_sequences(graph, entropy, max_candidates=max_candidates)
+    hits = total = 0
+    for v in range(graph.num_nodes):
+        cands = seqs.top_remote(v, top)
+        hits += int((graph.labels[cands] == graph.labels[v]).sum())
+        total += len(cands)
+    return hits / max(total, 1)
+
+
+def run_entropy_variants():
+    payload = {}
+    rank_rows = []
+    acc_rows = []
+    for dataset in DATASETS:
+        graph, splits = bench_dataset(dataset)
+        base = max(np.bincount(graph.labels)) / graph.num_nodes
+
+        variants = {
+            "js (paper)": RelativeEntropy.from_graph(graph, lam=1.0),
+            "kl ([50])": RelativeEntropy.from_graph(
+                graph, lam=1.0, structural_mode="kl"
+            ),
+            "feature-only": RelativeEntropy.from_graph(graph, lam=0.0),
+            "structure-only": RelativeEntropy.from_graph(graph, lam=1e6),
+        }
+        rates = {
+            name: same_class_rate(graph, ent) for name, ent in variants.items()
+        }
+        for name, rate in rates.items():
+            rank_rows.append([dataset, name, f"{rate:.3f}", f"{base:.3f}"])
+
+        js_acc = 100 * run_rare_method(
+            "gcn", graph, splits[:2], config=bench_rare_config(dataset)
+        ).mean
+        kl_acc = 100 * run_rare_method(
+            "gcn", graph, splits[:2],
+            config=bench_rare_config(dataset, structural_mode="kl"),
+        ).mean
+        acc_rows.append([dataset, f"{js_acc:.1f}", f"{kl_acc:.1f}"])
+        payload[dataset] = {
+            "rank_rates": rates, "majority_base": base,
+            "acc_js": js_acc, "acc_kl": kl_acc,
+        }
+
+    print(
+        format_table(
+            "Entropy-variant ablation: same-class rate of top-5 remote candidates",
+            ["dataset", "metric", "same-class rate", "majority base"],
+            rank_rows,
+        )
+    )
+    print(
+        format_table(
+            "GCN-RARE accuracy: JS (paper) vs raw-KL structural entropy",
+            ["dataset", "JS", "KL"],
+            acc_rows,
+        )
+    )
+    save_results("ablation_entropy_variants", payload)
+    return payload
+
+
+def test_entropy_variant_ablation(benchmark):
+    payload = benchmark.pedantic(run_entropy_variants, rounds=1, iterations=1)
+    for dataset, data in payload.items():
+        rates = data["rank_rates"]
+        # The paper's JS-based metric and the feature component beat the
+        # majority-class base rate.  Raw KL and pure structure are
+        # *allowed* to fail this — on the dense Chameleon stand-in both
+        # do, which is exactly the paper's argument for the bounded JS
+        # form and for mixing in features (Sec. IV-A).
+        for name in ("js (paper)", "feature-only"):
+            assert rates[name] > data["majority_base"] - 0.02, f"{dataset}/{name}"
+        assert rates["structure-only"] > data["majority_base"] - 0.1
+        # JS never ranks worse than raw KL.
+        assert rates["js (paper)"] >= rates["kl ([50])"] - 0.02, dataset
+        # The combined paper metric is at least as good as structure-only.
+        assert rates["js (paper)"] >= rates["structure-only"] - 0.05
+        # End-task: JS within a few points of (usually above) KL.
+        assert data["acc_js"] >= data["acc_kl"] - 8.0, dataset

@@ -1,0 +1,63 @@
+"""Complexity analysis of the relative-entropy computation (Sec. IV-A.4).
+
+The paper states the worst case is O(N^2) "for any size of the graph due
+to the matrix multiplication", mitigated in practice by sparsity and by
+computing entropy only once before training.  This bench measures the
+one-off entropy + sequence-construction time across graph sizes and checks
+that the empirical growth stays polynomial in the stated range (between
+linear and cubic — timing noise at small N makes an exact exponent
+unreliable, but the quadratic trend should be visible).
+"""
+
+import numpy as np
+
+from repro.bench import format_table, save_results, time_entropy
+from repro.datasets import DatasetSpec, build_synthetic_graph
+
+SIZES = [50, 100, 200, 400]
+
+
+def run_complexity():
+    payload = {"sizes": SIZES, "seconds": []}
+    rows = []
+    for n in SIZES:
+        spec = DatasetSpec(
+            name=f"complexity_{n}",
+            num_nodes=n,
+            num_edges=4 * n,
+            num_features=64,
+            num_classes=4,
+            homophily=0.3,
+        )
+        graph = build_synthetic_graph(spec, seed=0)
+        # Median of three runs to tame timer noise.
+        times = [time_entropy(graph) for _ in range(3)]
+        seconds = float(np.median(times))
+        payload["seconds"].append(seconds)
+        rows.append([f"{n}", f"{1000 * seconds:.1f}"])
+
+    # Empirical growth exponent from a log-log fit.
+    logs_n = np.log(SIZES)
+    logs_t = np.log(payload["seconds"])
+    slope = float(np.polyfit(logs_n, logs_t, 1)[0])
+    payload["exponent"] = slope
+
+    print(
+        format_table(
+            "Entropy computation cost vs graph size (paper: O(N^2) worst case)",
+            ["N", "time (ms)"],
+            rows,
+        )
+    )
+    print(f"empirical growth exponent: N^{slope:.2f}")
+    save_results("complexity_entropy", payload)
+    return payload
+
+
+def test_entropy_complexity(benchmark):
+    payload = benchmark.pedantic(run_complexity, rounds=1, iterations=1)
+    times = payload["seconds"]
+    # Monotone growth...
+    assert all(b > a for a, b in zip(times, times[1:]))
+    # ...at a polynomial rate consistent with the paper's O(N^2) analysis.
+    assert 0.8 < payload["exponent"] < 3.2, payload["exponent"]

@@ -1,0 +1,92 @@
+"""Fig. 7 — homophily ratios of the original vs optimised graphs.
+
+The paper reports that all four RARE models raise the homophily ratio on
+every dataset, by +0.17 to +0.20 on average, with the dense wiki graphs
+(Chameleon, Squirrel) showing the smallest gains.
+"""
+
+import numpy as np
+
+from repro.bench import (
+    bench_dataset,
+    bench_rare_config,
+    format_table,
+    save_results,
+)
+from repro.bench.paper_values import (
+    DATASETS,
+    FIG7_AVG_IMPROVEMENT,
+    FIG7_ORIGINAL_H,
+)
+from repro.core import GraphRARE
+
+RARE_BACKBONES = ["gcn", "graphsage", "gat", "h2gcn"]
+
+
+def run_fig7():
+    payload = {}
+    rows = []
+    for d_idx, dataset in enumerate(DATASETS):
+        graph, splits = bench_dataset(dataset)
+        split = splits[0]
+        cfg = bench_rare_config(dataset)
+        for backbone in RARE_BACKBONES:
+            result = GraphRARE(backbone, cfg).fit(
+                graph, split, train_baseline=False
+            )
+            key = f"{dataset}|{backbone}-rare"
+            payload[key] = {
+                "original": result.original_homophily,
+                "optimized": result.optimized_homophily,
+            }
+            rows.append(
+                [
+                    dataset,
+                    f"{backbone}-rare",
+                    f"{FIG7_ORIGINAL_H[d_idx]:.2f}",
+                    f"{result.original_homophily:.2f}",
+                    f"{result.optimized_homophily:.2f}",
+                    f"{result.optimized_homophily - result.original_homophily:+.2f}",
+                ]
+            )
+    print(
+        format_table(
+            "Fig. 7: homophily ratio, original vs optimised topology",
+            ["dataset", "model", "H paper", "H ours", "H optimised", "delta"],
+            rows,
+        )
+    )
+    for backbone in RARE_BACKBONES:
+        deltas = [
+            payload[f"{d}|{backbone}-rare"]["optimized"]
+            - payload[f"{d}|{backbone}-rare"]["original"]
+            for d in DATASETS
+        ]
+        print(
+            f"{backbone}-rare average homophily gain: {np.mean(deltas):+.3f} "
+            f"(paper: +{FIG7_AVG_IMPROVEMENT[f'{backbone}-rare']:.2f})"
+        )
+    save_results("fig7_homophily", payload)
+    return payload
+
+
+def test_fig7_homophily(benchmark):
+    payload = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    for backbone in RARE_BACKBONES:
+        deltas = [
+            payload[f"{d}|{backbone}-rare"]["optimized"]
+            - payload[f"{d}|{backbone}-rare"]["original"]
+            for d in DATASETS
+        ]
+        # Shape: homophily never *drops* (the framework falls back to the
+        # original graph when rewiring does not help) and rises on average.
+        assert min(deltas) > -1e-9, f"{backbone}: homophily decreased"
+        assert np.mean(deltas) >= 0.0, f"{backbone}: no average gain"
+    # Shape: at least one of the sparse WebKB graphs gains more than the
+    # dense wiki graphs do (the paper's 'subdued enhancement' observation).
+    gcn_gain = lambda d: (
+        payload[f"{d}|gcn-rare"]["optimized"] - payload[f"{d}|gcn-rare"]["original"]
+    )
+    webkb_best = max(gcn_gain(d) for d in ("cornell", "texas", "wisconsin"))
+    wiki_best = max(gcn_gain(d) for d in ("chameleon", "squirrel"))
+    assert webkb_best >= wiki_best - 0.05

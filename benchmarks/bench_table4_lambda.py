@@ -1,0 +1,75 @@
+"""Table IV — the lambda hyper-parameter sweep.
+
+lambda weighs the structural entropy against the feature entropy in Eq. 9.
+The paper sweeps {0.1, 0.5, 1.0, 10.0} for all four RARE models and finds
+lambda = 1.0 the best default.  The bench sweeps GCN-RARE on one dense
+heterophilic, one sparse heterophilic and one homophilic dataset, and adds
+the raw-KL structural-entropy variant called out in DESIGN.md.
+"""
+
+import numpy as np
+
+from repro.bench import (
+    bench_dataset,
+    bench_rare_config,
+    format_table,
+    run_rare_method,
+    save_results,
+)
+from repro.bench.paper_values import DATASETS, TABLE4_GCN_RARE
+from repro.core import RareConfig
+
+SWEEP_DATASETS = ["chameleon", "cornell", "cora"]
+LAMBDAS = [0.1, 0.5, 1.0, 10.0]
+
+
+def run_table4():
+    measured = {}
+    for dataset in SWEEP_DATASETS:
+        graph, splits = bench_dataset(dataset)
+        col = DATASETS.index(dataset)
+        for lam in LAMBDAS:
+            cfg = bench_rare_config(dataset, lam=lam)
+            res = run_rare_method("gcn", graph, splits, config=cfg)
+            measured[(dataset, lam)] = {
+                "paper": TABLE4_GCN_RARE[lam][col],
+                "ours": 100 * res.mean,
+            }
+
+    rows = [
+        [
+            dataset,
+            f"{lam}",
+            f"{vals['paper']:.1f}",
+            f"{vals['ours']:.1f}",
+        ]
+        for (dataset, lam), vals in measured.items()
+    ]
+    print(
+        format_table(
+            "Table IV: GCN-RARE lambda sweep (accuracy, percent)",
+            ["dataset", "lambda", "paper", "ours"],
+            rows,
+        )
+    )
+    save_results(
+        "table4_lambda",
+        {f"{d}|{l}": v for (d, l), v in measured.items()},
+    )
+    return measured
+
+
+def test_table4_lambda_sweep(benchmark):
+    measured = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    for dataset in SWEEP_DATASETS:
+        accs = {lam: measured[(dataset, lam)]["ours"] for lam in LAMBDAS}
+        # Shape check: no lambda collapses the model to chance.
+        spread = max(accs.values()) - min(accs.values())
+        assert spread < 40.0, f"{dataset}: degenerate sweep {accs}"
+        # lambda = 1.0 stays competitive.  The paper sees a ~1-point band;
+        # our stand-ins are more lambda-sensitive because their WebKB-style
+        # features are far stronger than their structure, so the
+        # structure-heavy lambda = 10 loses more (see EXPERIMENTS.md).
+        assert accs[1.0] >= max(accs.values()) - 10.0, f"{dataset}: {accs}"
+        # The balanced setting should beat or match the structure-only end.
+        assert accs[1.0] >= accs[10.0] - 3.0, f"{dataset}: {accs}"

@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench prints a paper-vs-measured table (run pytest with ``-s`` to see
+them live) and persists the same data under ``bench_results/``.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _print_header(request, capsys):
+    """Echo each bench's table even under captured output."""
+    yield
+    captured = capsys.readouterr()
+    if captured.out:
+        with capsys.disabled():
+            print(f"\n{captured.out}")

@@ -1,0 +1,38 @@
+"""Homophilic sanity check: GraphRARE must not hurt a graph that is already
+good (the paper's pattern 2: "on datasets with strong homophily, GraphRARE
+performs better or is comparable to the baselines").
+
+We run the four RARE variants on a Cora stand-in and compare each against
+its untouched backbone.
+
+Usage:  python examples/citation_homophily.py
+"""
+
+from repro import GraphRARE, RareConfig, geom_gcn_splits, load_dataset
+from repro.graph import homophily_ratio
+
+
+def main() -> None:
+    graph = load_dataset("cora", scale=0.08, seed=0)
+    split = geom_gcn_splits(graph, num_splits=1, seed=0)[0]
+    print(f"Citation graph: {graph}, homophily {homophily_ratio(graph):.2f}\n")
+
+    config = RareConfig(
+        k_max=4, d_max=4, max_candidates=10, episodes=4, horizon=5, seed=0
+    )
+    print(f"{'backbone':<12} {'plain':>8} {'RARE':>8} {'delta':>8}")
+    for backbone in ("gcn", "graphsage", "gat", "h2gcn"):
+        result = GraphRARE(backbone, config).fit(graph, split)
+        print(
+            f"{backbone:<12} {100 * result.baseline_test_acc:>7.1f}% "
+            f"{100 * result.test_acc:>7.1f}% "
+            f"{100 * result.improvement:>+7.1f}"
+        )
+    print(
+        "\nOn homophilic graphs the framework mostly keeps the original"
+        "\ntopology: the validation-anchored selection rejects harmful edits."
+    )
+
+
+if __name__ == "__main__":
+    main()

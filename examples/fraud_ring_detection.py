@@ -1,0 +1,86 @@
+"""Fraud-ring detection: the heterophilic scenario from the paper's intro.
+
+"Fraudsters are more likely to build connections with customers instead of
+other fraudsters in online purchasing networks" — so a message-passing GNN
+that pools direct neighbours mostly sees the *other* class.  GraphRARE's
+entropy ranking finds behaviourally similar accounts that are far apart in
+the transaction graph and wires them together.
+
+The synthetic marketplace below has three account types (regular buyers,
+power sellers, fraudsters) with behaviour features; fraud edges attach
+overwhelmingly to non-fraud accounts (low homophily).
+
+Usage:  python examples/fraud_ring_detection.py
+"""
+
+import numpy as np
+
+from repro import GraphRARE, RareConfig
+from repro.datasets import DatasetSpec, build_synthetic_graph
+from repro.gnn import build_backbone, train_backbone
+from repro.graph import homophily_ratio, random_split
+
+
+def build_marketplace(seed: int = 0):
+    """A heterophilic transaction graph with 3 account classes."""
+    spec = DatasetSpec(
+        name="marketplace",
+        num_nodes=240,
+        num_edges=900,
+        num_features=96,       # behavioural features (txn stats, timing, ...)
+        num_classes=3,         # buyer / seller / fraudster
+        homophily=0.15,        # fraudsters connect to victims, not peers
+        feature_signal=0.25,   # behaviour is informative
+        feature_noise=0.02,
+        degree_sigma=0.9,      # a few hub sellers
+        class_degree_spread=0.7,
+    )
+    return build_synthetic_graph(spec, seed=seed)
+
+
+def main() -> None:
+    graph = build_marketplace()
+    split = random_split(graph.labels, np.random.default_rng(0))
+    print(f"Marketplace graph: {graph}")
+    print(f"Edge homophily: {homophily_ratio(graph):.2f} "
+          "(fraud edges point at victims)")
+
+    # Plain GCN: neighbourhood pooling mixes fraudsters with their victims.
+    gcn = build_backbone(
+        "gcn", graph.num_features, graph.num_classes,
+        rng=np.random.default_rng(0),
+    )
+    plain = train_backbone(gcn, graph, split, epochs=100)
+    print(f"\nGCN on the transaction graph : {100 * plain.test_acc:.1f}%")
+
+    # GraphRARE: connect behaviourally-similar accounts, drop victim edges.
+    config = RareConfig(
+        k_max=6, d_max=6, max_candidates=12,
+        episodes=5, horizon=6, seed=0,
+    )
+    result = GraphRARE("gcn", config).fit(graph, split, train_baseline=False)
+    print(f"GCN-RARE (rewired)           : {100 * result.test_acc:.1f}%")
+    print(
+        f"homophily after rewiring     : {result.original_homophily:.2f} -> "
+        f"{result.optimized_homophily:.2f}"
+    )
+
+    # Where did the new edges go?  Count added fraud-fraud connections.
+    added = result.optimized_graph.edges - graph.edges
+    if added:
+        same = np.mean(
+            [graph.labels[u] == graph.labels[v] for u, v in added]
+        )
+        print(f"added edges                  : {len(added)} "
+              f"({100 * same:.0f}% same-class)")
+    removed = graph.edges - result.optimized_graph.edges
+    if removed:
+        cross = np.mean(
+            [graph.labels[u] != graph.labels[v] for u, v in removed]
+        )
+        print(f"removed edges                : {len(removed)} "
+              f"({100 * cross:.0f}% cross-class)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Quickstart: enhance a GCN with GraphRARE on a heterophilic graph.
+
+Runs the full pipeline — relative entropy, PPO topology optimisation,
+co-training — on a scaled-down Chameleon stand-in and prints the accuracy
+of the plain backbone next to the RARE-enhanced one.
+
+Usage:  python examples/quickstart.py
+"""
+
+from repro import GraphRARE, RareConfig, geom_gcn_splits, load_dataset
+from repro.graph import homophily_ratio
+
+
+def main() -> None:
+    # A heterophilic wiki-page graph (Table II stats, shrunk for CPU).
+    graph = load_dataset("chameleon", scale=0.08, seed=0)
+    print(f"Loaded {graph} with homophily ratio {homophily_ratio(graph):.2f}")
+
+    split = geom_gcn_splits(graph, num_splits=1, seed=0)[0]
+
+    config = RareConfig(
+        k_max=12,          # at most 12 remote neighbours added per node
+        d_max=16,          # at most 16 noisy neighbours removed per node
+        max_candidates=16, # entropy sequence length
+        episodes=5,        # PPO episodes
+        horizon=8,         # topology edits per episode
+        seed=0,
+    )
+    rare = GraphRARE(backbone="gcn", config=config)
+    result = rare.fit(graph, split)
+
+    print(f"\nGCN  (original topology): {100 * result.baseline_test_acc:.1f}%")
+    print(f"GCN-RARE (optimised)    : {100 * result.test_acc:.1f}%")
+    print(f"improvement             : {100 * result.improvement:+.1f} points")
+    print(
+        f"homophily ratio         : {result.original_homophily:.2f} -> "
+        f"{result.optimized_homophily:.2f}"
+    )
+    print(f"entropy precomputation  : {result.entropy_seconds:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

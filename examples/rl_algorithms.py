@@ -1,0 +1,46 @@
+"""Swapping the RL agent inside GraphRARE.
+
+The paper uses PPO but notes that "other reinforcement learning algorithms
+can also be conveniently applied" (Sec. IV-B).  This example runs the same
+GraphRARE configuration with PPO, A2C and REINFORCE on a heterophilic
+graph and reports accuracy, homophily gain, and a rewiring breakdown from
+the analysis module.
+
+Usage:  python examples/rl_algorithms.py
+"""
+
+from repro import GraphRARE, RareConfig, geom_gcn_splits, load_dataset
+from repro.core import analyze_rewiring
+
+
+def main() -> None:
+    graph = load_dataset("wisconsin", scale=0.6, seed=0)
+    split = geom_gcn_splits(graph, num_splits=1, seed=0)[0]
+    print(f"graph: {graph}\n")
+
+    print(f"{'agent':<11} {'GCN':>7} {'GCN-RARE':>9} {'dH':>7} "
+          f"{'added':>6} {'removed':>8}")
+    for algorithm in ("ppo", "a2c", "reinforce"):
+        config = RareConfig(
+            rl_algorithm=algorithm,
+            k_max=5, d_max=5, max_candidates=10,
+            episodes=4, horizon=6, seed=0,
+        )
+        result = GraphRARE("gcn", config).fit(graph, split)
+        analysis = analyze_rewiring(graph, result.optimized_graph)
+        print(
+            f"{algorithm:<11} {100 * result.baseline_test_acc:>6.1f}% "
+            f"{100 * result.test_acc:>8.1f}% "
+            f"{analysis.homophily_gain:>+7.3f} "
+            f"{analysis.num_added:>6d} {analysis.num_removed:>8d}"
+        )
+
+    print(
+        "\nAll three agents drive the same MDP (state [k;d], ternary"
+        "\nactions, Eq. 11 reward); PPO's clipped updates are the paper's"
+        "\nchoice, but the framework is agent-agnostic."
+    )
+
+
+if __name__ == "__main__":
+    main()

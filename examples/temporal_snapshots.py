@@ -1,0 +1,46 @@
+"""Spatio-temporal GraphRARE: the paper's future-work extension.
+
+A transaction-like graph whose topology drifts over three snapshots
+(features and labels are static).  TemporalGraphRARE optimises each
+snapshot's topology with the RARE loop and classifies on the final one.
+
+Usage:  python examples/temporal_snapshots.py
+"""
+
+import numpy as np
+
+from repro.core import RareConfig, TemporalGraphRARE, drifting_snapshots
+from repro.datasets.synthetic import DatasetSpec
+from repro.graph import homophily_ratio, random_split
+
+
+def main() -> None:
+    spec = DatasetSpec(
+        name="drifting_marketplace",
+        num_nodes=120,
+        num_edges=420,
+        num_features=64,
+        num_classes=3,
+        homophily=0.2,
+        feature_signal=0.3,
+    )
+    snapshots = drifting_snapshots(spec, num_snapshots=3, drift=0.25, seed=0)
+    print("snapshot homophily before optimisation:",
+          [f"{homophily_ratio(s):.2f}" for s in snapshots])
+
+    split = random_split(snapshots[0].labels, np.random.default_rng(0))
+    config = RareConfig(
+        k_max=4, d_max=4, max_candidates=10,
+        episodes=4, horizon=6, seed=1,
+    )
+    result = TemporalGraphRARE("gcn", config).fit(snapshots, split)
+
+    print("snapshot homophily after optimisation: ",
+          [f"{h:.2f}" for h in result.homophily_curve])
+    print(f"\nfinal snapshot — GCN: {100 * result.baseline_test_acc:.1f}%  "
+          f"GCN-RARE: {100 * result.test_acc:.1f}%  "
+          f"({100 * result.improvement:+.1f} points)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Using the entropy and rewiring APIs directly (no reinforcement learning).
+
+The building blocks of GraphRARE are usable on their own:
+
+1. compute the node relative entropy (feature + structural, Eq. 3-9);
+2. inspect a node's entropy sequence — who are its most informative
+   remote peers, which neighbours look like noise?
+3. statically rewire with a uniform top-k / top-d and watch the homophily
+   ratio move.
+
+Usage:  python examples/topology_surgery.py
+"""
+
+import numpy as np
+
+from repro import load_dataset
+from repro.core import rewire_graph
+from repro.entropy import RelativeEntropy, build_entropy_sequences
+from repro.graph import homophily_ratio
+
+
+def main() -> None:
+    graph = load_dataset("wisconsin", scale=0.6, seed=0)
+    print(f"{graph}, homophily {homophily_ratio(graph):.2f}\n")
+
+    # 1. Relative entropy: one-off precomputation.
+    entropy = RelativeEntropy.from_graph(graph, lam=1.0)
+    seqs = build_entropy_sequences(graph, entropy, max_candidates=8)
+
+    # 2. Inspect one node's view of the graph.
+    v = int(np.argmax(graph.degrees()))
+    print(f"node {v} (degree {graph.degrees()[v]}, class {graph.labels[v]}):")
+    top = seqs.top_remote(v, 5)
+    print("  top remote candidates :",
+          [(int(u), int(graph.labels[u])) for u in top])
+    worst = seqs.worst_neighbors(v, 3)
+    print("  noisiest neighbours   :",
+          [(int(u), int(graph.labels[u])) for u in worst])
+    same = (graph.labels[top] == graph.labels[v]).mean() if len(top) else 0
+    print(f"  -> {100 * same:.0f}% of the top candidates share node {v}'s class\n")
+
+    # 3. Static top-k / top-d surgery, sweeping k.
+    n = graph.num_nodes
+    print(f"{'k':>3} {'d':>3} {'edges':>7} {'homophily':>10}")
+    for k in (0, 1, 2, 4):
+        rewired = rewire_graph(
+            graph, seqs,
+            k=np.full(n, k),
+            d=np.minimum(1, graph.degrees()),
+        )
+        print(f"{k:>3} {1:>3} {rewired.num_edges:>7} "
+              f"{homophily_ratio(rewired):>10.2f}")
+    print(
+        "\nA uniform k already raises homophily; the paper's point is that"
+        "\nthe *best* k differs per node — which is what the DRL agent learns."
+    )
+
+
+if __name__ == "__main__":
+    main()

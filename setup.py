@@ -1,0 +1,7 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package,
+so `pip install -e .` (PEP 660) cannot build; `python setup.py develop`
+installs the package in editable mode instead."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""GraphRARE reproduction: RL-enhanced GNNs with node relative entropy.
+
+Reproduces Peng et al., "GraphRARE: Reinforcement Learning Enhanced Graph
+Neural Network with Relative Entropy" (ICDE 2024) on a pure numpy/scipy
+substrate.  The public surface:
+
+* :mod:`repro.core` — the GraphRARE framework (entropy + PPO rewiring).
+* :mod:`repro.gnn` — GNN backbones (GCN, GraphSAGE, GAT, H2GCN, MixHop).
+* :mod:`repro.baselines` — heterophily-GNN baselines from the paper.
+* :mod:`repro.datasets` — synthetic stand-ins for the seven benchmarks.
+* :mod:`repro.entropy` — node relative entropy (feature + structural).
+* :mod:`repro.rl` — PPO with multi-discrete actions.
+* :mod:`repro.graph`, :mod:`repro.nn`, :mod:`repro.tensor` — substrates.
+"""
+
+from .core import GraphRARE, RareConfig, RareResult
+from .datasets import load_dataset, planted_partition_graph
+from .gnn import build_backbone, train_backbone
+from .graph import Graph, geom_gcn_splits, homophily_ratio
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "GraphRARE",
+    "RareConfig",
+    "RareResult",
+    "__version__",
+    "build_backbone",
+    "geom_gcn_splits",
+    "homophily_ratio",
+    "load_dataset",
+    "planted_partition_graph",
+    "train_backbone",
+]

@@ -1,0 +1,32 @@
+"""Heterophily-GNN baselines compared against GraphRARE in Table III."""
+
+from .feature_similarity import SimPGCN, UGCN
+from .geometric import GeomGCN, latent_positions, relation_matrices
+from .homophily import HOGGCN, MIGCN, homophily_weighted_matrix, propagate_labels
+from .kernels import GBKGNN, PolarGNN
+from .knn import cosine_knn_adjacency, knn_norm
+from .nonlocal_models import GPNN, NLGNN
+from .otgnet import OTGNetLite
+from .registry import BASELINE_NAMES, baseline_names, build_baseline
+
+__all__ = [
+    "BASELINE_NAMES",
+    "GBKGNN",
+    "GeomGCN",
+    "HOGGCN",
+    "MIGCN",
+    "NLGNN",
+    "GPNN",
+    "OTGNetLite",
+    "PolarGNN",
+    "SimPGCN",
+    "UGCN",
+    "baseline_names",
+    "build_baseline",
+    "cosine_knn_adjacency",
+    "homophily_weighted_matrix",
+    "knn_norm",
+    "latent_positions",
+    "propagate_labels",
+    "relation_matrices",
+]

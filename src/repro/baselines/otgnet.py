@@ -1,0 +1,46 @@
+"""OTGNet (lite) [7], adapted to static graphs as in the paper's Sec. V-B.
+
+OTGNet targets open temporal graphs; the paper feeds it static graphs "for
+a fair comparison" and it lands near the bottom of Table III.  The defining
+pieces kept here: an information-bottleneck feature compression before
+propagation (OTGNet selects class-informative content via an IB objective)
+and a single mean-aggregation step over the (static) neighbourhood — the
+temporal memory has no static counterpart, which is precisely why the
+method underperforms in this setting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph, row_norm
+from ..gnn import GNNBackbone, cached_matrix
+from ..nn import Dropout, Linear
+from ..tensor import Tensor, ops
+
+
+class OTGNetLite(GNNBackbone):
+    """Bottlenecked mean-aggregation classifier (static OTGNet adaptation)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        num_classes: int,
+        hidden: int = 64,
+        dropout: float = 0.5,
+        bottleneck: int = 16,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(in_features, num_classes)
+        rng = rng or np.random.default_rng(0)
+        self.compress = Linear(in_features, bottleneck, rng)
+        self.expand = Linear(bottleneck, hidden, rng)
+        self.classify = Linear(hidden, num_classes, rng)
+        self.dropout = Dropout(dropout, rng)
+
+    def forward(self, graph: Graph, x: Tensor) -> Tensor:
+        mean_adj = cached_matrix(graph, "row_norm_loops",
+                                 lambda g: row_norm(g, add_self_loops=True))
+        z = ops.tanh(self.compress(self.dropout(x)))  # IB-style compression
+        h = ops.relu(self.expand(ops.spmm(mean_adj, z)))
+        return self.classify(self.dropout(h))

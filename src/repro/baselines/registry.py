@@ -1,0 +1,91 @@
+"""Registry of all Table III comparison methods.
+
+``build_baseline`` instantiates any of the seventeen rows of Table III:
+the attribute-only MLP, the traditional GNNs, the nine heterophily SOTA
+methods, and (through :mod:`repro.core`) the four RARE-enhanced variants.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..gnn import BACKBONES, GNNBackbone
+from ..graph import Graph, Split
+from .feature_similarity import SimPGCN, UGCN
+from .geometric import GeomGCN
+from .homophily import HOGGCN, MIGCN
+from .kernels import GBKGNN, PolarGNN
+from .nonlocal_models import GPNN, NLGNN
+from .otgnet import OTGNetLite
+
+#: Table III baseline rows (the RARE variants are built via repro.core).
+BASELINE_NAMES: List[str] = [
+    "mlp",
+    "gcn",
+    "graphsage",
+    "gat",
+    "mixhop",
+    "h2gcn",
+    "geom_gcn",
+    "ugcn",
+    "simp_gcn",
+    "otgnet",
+    "gbk_gnn",
+    "polar_gnn",
+    "hog_gcn",
+]
+
+_EXTRA = {
+    "geom_gcn": GeomGCN,
+    "ugcn": UGCN,
+    "simp_gcn": SimPGCN,
+    "otgnet": OTGNetLite,
+    "gbk_gnn": GBKGNN,
+    "polar_gnn": PolarGNN,
+    "mi_gcn": MIGCN,
+    "nl_gnn": NLGNN,
+    "gpnn": GPNN,
+}
+
+
+def baseline_names() -> List[str]:
+    """All registered baseline names, in Table III row order."""
+    return list(BASELINE_NAMES)
+
+
+def build_baseline(
+    name: str,
+    graph: Graph,
+    split: Optional[Split] = None,
+    hidden: int = 64,
+    dropout: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
+) -> GNNBackbone:
+    """Instantiate baseline ``name`` for ``graph``.
+
+    ``split`` is required only by HOG-GCN (its label propagation may see
+    training labels exclusively).
+    """
+    rng = rng or np.random.default_rng(0)
+    key = name.lower()
+    if key in BACKBONES:
+        return BACKBONES[key](
+            graph.num_features, graph.num_classes,
+            hidden=hidden, dropout=dropout, rng=rng,
+        )
+    if key == "hog_gcn":
+        if split is None:
+            raise ValueError("hog_gcn requires the split (label propagation)")
+        return HOGGCN(
+            graph.num_features, graph.num_classes, split.train,
+            hidden=hidden, dropout=dropout, rng=rng,
+        )
+    if key in _EXTRA:
+        return _EXTRA[key](
+            graph.num_features, graph.num_classes,
+            hidden=hidden, dropout=dropout, rng=rng,
+        )
+    known = sorted(set(BACKBONES) | set(_EXTRA) | {"hog_gcn"})
+    raise ValueError(f"unknown baseline {name!r}; choose from {known}")

@@ -1,0 +1,42 @@
+"""Benchmark harness: experiment runners, paper values, scaled configs."""
+
+from . import paper_values
+from .harness import (
+    MethodResult,
+    format_table,
+    paper_vs_measured_row,
+    run_baseline_method,
+    run_rare_method,
+    save_results,
+)
+from .scaled import (
+    BENCH_SCALES,
+    BENCH_SPLITS,
+    bench_dataset,
+    bench_graph,
+    bench_rare_config,
+    bench_splits,
+)
+from .timing import time_entropy, time_epochs, time_rare_epoch
+from .viz import ascii_curve, ascii_heatmap
+
+__all__ = [
+    "BENCH_SCALES",
+    "BENCH_SPLITS",
+    "MethodResult",
+    "ascii_curve",
+    "ascii_heatmap",
+    "bench_dataset",
+    "bench_graph",
+    "bench_rare_config",
+    "bench_splits",
+    "format_table",
+    "paper_values",
+    "paper_vs_measured_row",
+    "run_baseline_method",
+    "run_rare_method",
+    "save_results",
+    "time_entropy",
+    "time_epochs",
+    "time_rare_epoch",
+]

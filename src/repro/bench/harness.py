@@ -1,0 +1,125 @@
+"""Experiment harness shared by the benchmark modules.
+
+Responsibilities: run a method over several splits and report mean ± std
+test accuracy, format tables that show the paper's number next to ours, and
+persist results as JSON for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..baselines import build_baseline
+from ..core import GraphRARE, RareConfig
+from ..gnn import train_backbone
+from ..graph import Graph, Split
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "bench_results")
+
+
+@dataclass
+class MethodResult:
+    """Mean/std accuracy of one method on one dataset."""
+
+    method: str
+    dataset: str
+    mean: float
+    std: float
+    runs: List[float]
+
+    def cell(self) -> str:
+        return f"{100 * self.mean:.1f}±{100 * self.std:.1f}"
+
+
+def run_baseline_method(
+    name: str,
+    graph: Graph,
+    splits: Sequence[Split],
+    hidden: int = 64,
+    epochs: int = 80,
+    patience: int = 15,
+    lr: float = 0.05,
+    seed: int = 0,
+) -> MethodResult:
+    """Train baseline ``name`` once per split; aggregate test accuracy."""
+    runs = []
+    for i, split in enumerate(splits):
+        model = build_baseline(
+            name, graph, split, hidden=hidden,
+            rng=np.random.default_rng(seed + i),
+        )
+        result = train_backbone(
+            model, graph, split, epochs=epochs, patience=patience, lr=lr
+        )
+        runs.append(result.test_acc)
+    return MethodResult(
+        method=name,
+        dataset="",
+        mean=float(np.mean(runs)),
+        std=float(np.std(runs)),
+        runs=runs,
+    )
+
+
+def run_rare_method(
+    backbone: str,
+    graph: Graph,
+    splits: Sequence[Split],
+    config: Optional[RareConfig] = None,
+    seed: int = 0,
+) -> MethodResult:
+    """Run GraphRARE (one fit per split); aggregate test accuracy."""
+    runs = []
+    for i, split in enumerate(splits):
+        cfg = config or RareConfig()
+        cfg = RareConfig(**{**cfg.__dict__, "seed": seed + i})
+        result = GraphRARE(backbone, cfg).fit(graph, split, train_baseline=False)
+        runs.append(result.test_acc)
+    return MethodResult(
+        method=f"{backbone}-rare",
+        dataset="",
+        mean=float(np.mean(runs)),
+        std=float(np.std(runs)),
+        runs=runs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Formatting
+# ---------------------------------------------------------------------------
+def format_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """A plain aligned text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(str(cell)))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def paper_vs_measured_row(
+    label: str, paper: Optional[float], measured: float, note: str = ""
+) -> List[str]:
+    """One 'paper vs ours' table row; accuracies in percent."""
+    paper_cell = "-" if paper is None else f"{paper:.1f}"
+    return [label, paper_cell, f"{measured:.1f}", note]
+
+
+def save_results(name: str, payload: dict) -> str:
+    """Persist a bench's results to ``bench_results/<name>.json``."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, default=float)
+    return path

@@ -1,0 +1,63 @@
+"""Terminal visualisation helpers for the figure benches."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    matrix: np.ndarray,
+    row_labels: Optional[Sequence[str]] = None,
+    col_labels: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render a matrix as character shades (the Fig. 5 / Fig. 8 heatmaps)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    lo, hi = matrix.min(), matrix.max()
+    span = hi - lo if hi > lo else 1.0
+    norm = (matrix - lo) / span
+    chars = np.vectorize(lambda v: _SHADES[min(int(v * (len(_SHADES) - 1)), len(_SHADES) - 1)])(norm)
+
+    row_labels = list(row_labels or [str(i) for i in range(matrix.shape[0])])
+    col_labels = list(col_labels or [str(j) for j in range(matrix.shape[1])])
+    label_w = max(len(r) for r in row_labels)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" " * (label_w + 2) + " ".join(c[:3].rjust(3) for c in col_labels))
+    for label, row, vals in zip(row_labels, chars, matrix):
+        cells = " ".join((ch * 3) for ch in row)
+        lines.append(f"{label.rjust(label_w)}  {cells}")
+    lines.append(f"(scale: '{_SHADES[0]}'={lo:.3f} .. '{_SHADES[-1]}'={hi:.3f})")
+    return "\n".join(lines)
+
+
+def ascii_curve(
+    values: Sequence[float], title: str = "", width: int = 60, height: int = 10
+) -> str:
+    """A tiny line plot for convergence curves (Fig. 6)."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) == 0:
+        return title + "\n(no data)"
+    lo, hi = values.min(), values.max()
+    span = hi - lo if hi > lo else 1.0
+    # Resample to the target width.
+    idx = np.linspace(0, len(values) - 1, min(width, len(values)))
+    resampled = np.interp(idx, np.arange(len(values)), values)
+    rows = ((resampled - lo) / span * (height - 1)).round().astype(int)
+
+    canvas = [[" "] * len(resampled) for _ in range(height)]
+    for x, y in enumerate(rows):
+        canvas[height - 1 - y][x] = "*"
+    lines = [title] if title else []
+    lines.append(f"{hi:8.3f} ┤" + "".join(canvas[0]))
+    for row in canvas[1:-1]:
+        lines.append(" " * 8 + " │" + "".join(row))
+    lines.append(f"{lo:8.3f} ┤" + "".join(canvas[-1]))
+    lines.append(" " * 10 + f"0 .. {len(values) - 1} (steps)")
+    return "\n".join(lines)

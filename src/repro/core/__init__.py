@@ -1,0 +1,30 @@
+"""GraphRARE: the paper's primary contribution."""
+
+from .ablation import fixed_kd, fixed_kd_grid, random_kd
+from .analysis import RewiringAnalysis, analyze_rewiring, degree_change_report
+from .config import RareConfig
+from .env import OBS_DIM, TopologyEnv, build_observation
+from .framework import GraphRARE, RareResult
+from .rewire import clamp_state, edit_distance, rewire_graph
+from .temporal import TemporalGraphRARE, TemporalRareResult, drifting_snapshots
+
+__all__ = [
+    "GraphRARE",
+    "OBS_DIM",
+    "RareConfig",
+    "RareResult",
+    "RewiringAnalysis",
+    "analyze_rewiring",
+    "degree_change_report",
+    "TopologyEnv",
+    "build_observation",
+    "clamp_state",
+    "edit_distance",
+    "fixed_kd",
+    "fixed_kd_grid",
+    "random_kd",
+    "rewire_graph",
+    "TemporalGraphRARE",
+    "TemporalRareResult",
+    "drifting_snapshots",
+]

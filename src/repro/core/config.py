@@ -1,0 +1,101 @@
+"""Configuration for the GraphRARE framework."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rl import PPOConfig
+
+
+@dataclass
+class RareConfig:
+    """All knobs of the GraphRARE co-training loop (Secs. IV-B, IV-C, V-C).
+
+    Defaults follow the paper where it is explicit (lambda = 1.0, ternary
+    actions with delta-k = 1, PPO with an MLP policy, Adam with lr 0.05 and
+    weight decay 5e-5) and use modest budgets elsewhere so the loop runs on
+    CPU.
+    """
+
+    # --- relative entropy (Sec. IV-A) ---------------------------------
+    lam: float = 1.0
+    """Weight of the structural entropy in Eq. 9 (Table IV sweeps this)."""
+    embedding: str = "normalize"
+    """Feature embedding ``phi`` for Eq. 3."""
+    structural_mode: str = "js"
+    """``"js"`` (paper, Eq. 7-8) or ``"kl"`` ([50]'s unbounded variant,
+    kept for the DESIGN.md entropy ablation)."""
+    max_candidates: int = 16
+    """Remote candidates retained per node in the entropy sequence."""
+    max_profile_len: int | None = 64
+    """Truncation of degree profiles (Eq. 5) on heavy-tailed graphs."""
+
+    # --- topology optimisation (Sec. IV-B) ----------------------------
+    k_max: int = 8
+    """Upper bound for per-node added-edge counts ``k_v``."""
+    d_max: int = 8
+    """Upper bound for per-node deleted-edge counts ``d_v``."""
+    add_edges: bool = True
+    """Disable for the Table V 'GCN-RARE-remove' ablation."""
+    remove_edges: bool = True
+    """Disable for the Table V 'GCN-RARE-add' ablation."""
+
+    # --- reward (Eq. 11) ------------------------------------------------
+    lambda_r: float = 1.0
+    """Mixing weight between the accuracy and loss deltas."""
+    reward: str = "acc_loss"
+    """``"acc_loss"`` (Eq. 11) or ``"auc"`` (Table V reward ablation)."""
+
+    # --- co-training loop (Algorithm 1) --------------------------------
+    episodes: int = 6
+    """PPO episodes; each episode is ``horizon`` topology steps."""
+    horizon: int = 8
+    """Steps per episode of the finite-horizon MDP."""
+    co_train_epochs: int = 8
+    """'a few more epochs' of GNN training when accuracy improves."""
+    co_train_patience: int = 4
+    """Early-stopping patience inside a co-training burst."""
+    final_epochs: int = 100
+    """Final GNN training budget on the best discovered topology."""
+    final_patience: int = 20
+
+    # --- GNN optimisation (Sec. V-C) -----------------------------------
+    gnn_lr: float = 0.05
+    gnn_weight_decay: float = 5e-5
+    hidden: int = 64
+    dropout: float = 0.5
+
+    # --- RL agent --------------------------------------------------------
+    rl_algorithm: str = "ppo"
+    """``"ppo"`` (the paper's choice), ``"a2c"`` or ``"reinforce"`` — the
+    paper notes other RL algorithms "can also be conveniently applied"."""
+    ppo: PPOConfig = field(default_factory=PPOConfig)
+    """Agent hyper-parameters; overlapping fields are translated when a
+    non-PPO algorithm is selected (see ``repro.rl.build_agent``)."""
+    policy_hidden: int = 64
+
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.lam < 0:
+            raise ValueError(f"lam must be non-negative, got {self.lam}")
+        if self.k_max < 0 or self.d_max < 0:
+            raise ValueError("k_max and d_max must be non-negative")
+        if self.k_max > self.max_candidates:
+            raise ValueError(
+                f"k_max ({self.k_max}) cannot exceed max_candidates "
+                f"({self.max_candidates})"
+            )
+        if self.reward not in ("acc_loss", "auc"):
+            raise ValueError(f"unknown reward {self.reward!r}")
+        from ..rl import AGENTS
+
+        if self.rl_algorithm.lower() not in AGENTS:
+            raise ValueError(
+                f"unknown rl_algorithm {self.rl_algorithm!r}; "
+                f"choose from {sorted(AGENTS)}"
+            )
+        if not (self.add_edges or self.remove_edges):
+            raise ValueError("at least one of add_edges/remove_edges must be on")
+        if self.horizon < 1 or self.episodes < 1:
+            raise ValueError("horizon and episodes must be >= 1")

@@ -1,0 +1,81 @@
+"""Graph topology optimisation module (Sec. IV-B, Fig. 4).
+
+Given the per-node state ``S = [k_1..k_N, d_1..d_N]`` the module rebuilds
+the graph from the *original* topology: for every node ``v`` it connects the
+top-``k_v`` entries of ``v``'s entropy sequence and removes the edges to the
+``d_v`` lowest-entropy one-hop neighbours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..entropy import EntropySequences
+from ..graph import Graph
+
+
+def clamp_state(
+    k: np.ndarray,
+    d: np.ndarray,
+    graph: Graph,
+    sequences: EntropySequences,
+    k_max: int,
+    d_max: int,
+) -> tuple:
+    """Clip per-node counts to their feasible ranges.
+
+    ``k_v`` cannot exceed the number of available remote candidates and
+    ``d_v`` cannot exceed the node's original degree (you cannot delete
+    edges that do not exist).
+    """
+    avail = (sequences.remote >= 0).sum(axis=1)
+    deg = graph.degrees()
+    k = np.clip(k, 0, np.minimum(k_max, avail))
+    d = np.clip(d, 0, np.minimum(d_max, deg))
+    return k.astype(np.int64), d.astype(np.int64)
+
+
+def rewire_graph(
+    graph: Graph,
+    sequences: EntropySequences,
+    k: np.ndarray,
+    d: np.ndarray,
+    add_edges: bool = True,
+    remove_edges: bool = True,
+) -> Graph:
+    """Build ``G_{t+1}`` from the original graph and the state ``(k, d)``.
+
+    An edge is removed when *either* endpoint selects it for deletion, and
+    added when either endpoint selects the pair — consistent with keeping
+    the graph undirected.
+    """
+    k = np.asarray(k, dtype=np.int64)
+    d = np.asarray(d, dtype=np.int64)
+    n = graph.num_nodes
+    if k.shape != (n,) or d.shape != (n,):
+        raise ValueError(
+            f"k and d must have shape ({n},), got {k.shape} and {d.shape}"
+        )
+
+    edges = set(graph.edges)
+    if remove_edges:
+        for v in range(n):
+            if d[v] <= 0:
+                continue
+            for u in sequences.worst_neighbors(v, int(d[v])):
+                edge = (v, u) if v < u else (u, v)
+                edges.discard(edge)
+    if add_edges:
+        for v in range(n):
+            if k[v] <= 0:
+                continue
+            for u in sequences.top_remote(v, int(k[v])):
+                u = int(u)
+                if u != v:
+                    edges.add((v, u) if v < u else (u, v))
+    return graph.with_edges(edges)
+
+
+def edit_distance(a: Graph, b: Graph) -> int:
+    """Number of edge insertions plus deletions between two topologies."""
+    return len(a.edges ^ b.edges)

@@ -1,0 +1,37 @@
+"""Node relative entropy: the paper's metric for pairwise node importance."""
+
+from .feature_entropy import (
+    embed_features,
+    entropy_from_logits,
+    feature_entropy_matrix,
+    feature_entropy_pairs,
+    log_pair_normalizer,
+)
+from .relative_entropy import RelativeEntropy, class_pair_entropy
+from .sequence import EntropySequences, build_entropy_sequences
+from .structural_entropy import (
+    degree_profiles,
+    js_divergence,
+    kl_divergence,
+    structural_entropy_matrix,
+    structural_entropy_pairs,
+    structural_entropy_row,
+)
+
+__all__ = [
+    "EntropySequences",
+    "RelativeEntropy",
+    "build_entropy_sequences",
+    "class_pair_entropy",
+    "degree_profiles",
+    "embed_features",
+    "entropy_from_logits",
+    "feature_entropy_matrix",
+    "feature_entropy_pairs",
+    "js_divergence",
+    "kl_divergence",
+    "log_pair_normalizer",
+    "structural_entropy_matrix",
+    "structural_entropy_pairs",
+    "structural_entropy_row",
+]

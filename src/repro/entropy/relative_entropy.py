@@ -1,0 +1,163 @@
+"""Combined node relative entropy ``H(v, u) = H_f + lambda * H_s`` (Eq. 9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..graph import Graph
+from .feature_entropy import (
+    EmbeddingFn,
+    embed_features,
+    entropy_from_logits,
+    feature_entropy_matrix,
+    log_pair_normalizer,
+)
+from .structural_entropy import (
+    degree_profiles,
+    js_divergence,
+    kl_divergence,
+    structural_entropy_matrix,
+)
+
+
+@dataclass
+class RelativeEntropy:
+    """Precomputed state for relative-entropy queries on one graph.
+
+    The paper computes entropy once before training (Sec. IV-A, complexity
+    analysis); this object captures the reusable pieces: the feature
+    embeddings ``Z``, the global softmax normaliser, and the degree
+    profiles.  Rows are evaluated lazily and chunked so the full ``N x N``
+    matrix is only materialised on demand (small graphs / Fig. 8).
+    """
+
+    Z: np.ndarray
+    log_denominator: float
+    profiles: np.ndarray
+    lam: float
+    feature_scale: float = 1.0
+    """Divisor applied to the feature term so both entropies share the
+    [0, 1] range.  The raw ``-P log P`` values are ``O(log(N^2)/N^2)`` while
+    the JS-based structural entropy lives in [0, 1]; without rescaling,
+    lambda=1 would make the feature term vanish, contradicting the paper's
+    Table IV (where lambda=0.1 behaves like "feature entropy alone").  We
+    divide by the maximum attainable value ``-P_max log P_max`` (reached at
+    dot product 1 for unit-norm embeddings), a strictly monotone rescaling
+    that preserves every ranking."""
+
+    structural_mode: str = "js"
+    """``"js"`` (the paper's bounded Jensen-Shannon form, Eq. 7-8) or
+    ``"kl"`` (the unbounded symmetrised KL of [50], kept for the DESIGN.md
+    ablation: the paper motivates JS precisely because raw KL "has no
+    practical meaning when the value is too large")."""
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: Graph,
+        lam: float = 1.0,
+        embedding: EmbeddingFn = "normalize",
+        embedding_dim: int = 64,
+        max_profile_len: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        normalize_feature: bool = True,
+        structural_mode: str = "js",
+    ) -> "RelativeEntropy":
+        """Precompute entropy state for ``graph`` with weight ``lam`` (Eq. 9)."""
+        if graph.features is None:
+            raise ValueError("relative entropy requires node features")
+        if lam < 0:
+            raise ValueError(f"lambda must be non-negative, got {lam}")
+        if structural_mode not in ("js", "kl"):
+            raise ValueError(
+                f"structural_mode must be 'js' or 'kl', got {structural_mode!r}"
+            )
+        Z = embed_features(graph.features, embedding, dim=embedding_dim, rng=rng)
+        log_denominator = log_pair_normalizer(Z)
+        scale = 1.0
+        if normalize_feature:
+            scale = float(entropy_from_logits(np.array([1.0]), log_denominator)[0])
+        return cls(
+            Z=Z,
+            log_denominator=log_denominator,
+            profiles=degree_profiles(graph, max_len=max_profile_len),
+            lam=lam,
+            feature_scale=scale,
+            structural_mode=structural_mode,
+        )
+
+    @property
+    def num_nodes(self) -> int:
+        return self.Z.shape[0]
+
+    # ------------------------------------------------------------------
+    def feature_row(self, v: int) -> np.ndarray:
+        """``H_f(v, u)`` for all ``u`` (Eq. 4, rescaled by feature_scale)."""
+        logits = self.Z @ self.Z[v]
+        return entropy_from_logits(logits, self.log_denominator) / self.feature_scale
+
+    def _structural_divergence(self, p, q) -> np.ndarray:
+        if self.structural_mode == "kl":
+            # Symmetrised raw KL, as in [50]; unbounded above.
+            return 0.5 * (kl_divergence(p, q) + kl_divergence(q, p))
+        return js_divergence(p, q)
+
+    def structural_row(self, v: int) -> np.ndarray:
+        """``H_s(v, u)`` for all ``u`` (Eq. 8)."""
+        return 1.0 - self._structural_divergence(self.profiles[v], self.profiles)
+
+    def row(self, v: int) -> np.ndarray:
+        """``H(v, u) = H_f + lam * H_s`` for all ``u`` (Eq. 9)."""
+        return self.feature_row(v) + self.lam * self.structural_row(v)
+
+    def pairs(self, pairs: np.ndarray) -> np.ndarray:
+        """``H(v, u)`` for an ``(m, 2)`` array of node pairs."""
+        pairs = np.asarray(pairs)
+        logits = np.einsum("ij,ij->i", self.Z[pairs[:, 0]], self.Z[pairs[:, 1]])
+        hf = entropy_from_logits(logits, self.log_denominator) / self.feature_scale
+        hs = 1.0 - self._structural_divergence(
+            self.profiles[pairs[:, 0]], self.profiles[pairs[:, 1]]
+        )
+        return hf + self.lam * hs
+
+    def matrix(self) -> np.ndarray:
+        """Dense ``N x N`` relative-entropy matrix (small graphs only)."""
+        feature = feature_entropy_matrix(self.Z, self.log_denominator)
+        feature /= self.feature_scale
+        if self.structural_mode == "js":
+            structural = structural_entropy_matrix(self.profiles)
+        else:
+            n = self.profiles.shape[0]
+            structural = np.empty((n, n))
+            for v in range(n):
+                structural[v] = 1.0 - self._structural_divergence(
+                    self.profiles[v], self.profiles
+                )
+        return feature + self.lam * structural
+
+
+def class_pair_entropy(
+    entropy: RelativeEntropy, labels: np.ndarray
+) -> np.ndarray:
+    """Mean relative entropy per (class, class) pair — the Fig. 8 heatmap."""
+    labels = np.asarray(labels)
+    num_classes = int(labels.max()) + 1
+    sums = np.zeros((num_classes, num_classes))
+    counts = np.zeros((num_classes, num_classes))
+    for v in range(entropy.num_nodes):
+        row = entropy.row(v)
+        for c in range(num_classes):
+            members = labels == c
+            members_sum = row[members].sum()
+            # Exclude the trivial self pair when v belongs to class c.
+            if labels[v] == c:
+                members_sum -= row[v]
+                counts[labels[v], c] += members.sum() - 1
+            else:
+                counts[labels[v], c] += members.sum()
+            sums[labels[v], c] += members_sum
+    counts[counts == 0] = 1.0
+    return sums / counts

@@ -1,0 +1,119 @@
+"""Node entropy sequence construction (Sec. IV-A.4).
+
+For every node the framework needs two rankings derived from the relative
+entropy:
+
+* ``remote``  — non-adjacent candidate nodes sorted by *descending* entropy;
+  the DRL agent connects the top-``k_v`` of these (informative remote nodes).
+* ``neighbors`` — current one-hop neighbours sorted by *ascending* entropy;
+  the agent removes the top-``d_v`` of these (noisy local edges).
+
+Only the best ``max_candidates`` remote nodes are retained per node, which
+bounds memory at ``O(N * max_candidates)`` while leaving plenty of headroom
+for the DRL's ``k`` range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..graph import Graph
+from .relative_entropy import RelativeEntropy
+
+
+@dataclass
+class EntropySequences:
+    """Per-node entropy rankings backing the topology optimisation module."""
+
+    remote: np.ndarray
+    """``(N, max_candidates)`` int array; row v lists remote candidates in
+    descending entropy order, padded with -1."""
+
+    remote_scores: np.ndarray
+    """Entropy values aligned with :attr:`remote` (``-inf`` padding)."""
+
+    neighbors: List[np.ndarray]
+    """Per-node one-hop neighbours, *ascending* entropy (worst first)."""
+
+    neighbor_scores: List[np.ndarray]
+    """Entropy values aligned with :attr:`neighbors`."""
+
+    @property
+    def num_nodes(self) -> int:
+        return self.remote.shape[0]
+
+    @property
+    def max_candidates(self) -> int:
+        return self.remote.shape[1]
+
+    def top_remote(self, v: int, k: int) -> np.ndarray:
+        """The ``k`` best remote candidates for node ``v`` (may be fewer)."""
+        row = self.remote[v]
+        return row[: k][row[:k] >= 0]
+
+    def worst_neighbors(self, v: int, d: int) -> np.ndarray:
+        """The ``d`` lowest-entropy current neighbours of node ``v``."""
+        return self.neighbors[v][:d]
+
+
+def build_entropy_sequences(
+    graph: Graph,
+    entropy: RelativeEntropy,
+    max_candidates: int = 16,
+    rng: Optional[np.random.Generator] = None,
+    shuffle: bool = False,
+) -> EntropySequences:
+    """Rank every node's remote candidates and one-hop neighbours.
+
+    ``shuffle=True`` randomises both rankings — the paper's "GraphRARE
+    without relative entropy" ablation (Table V, GCN-RA).
+    """
+    if max_candidates < 1:
+        raise ValueError(f"max_candidates must be >= 1, got {max_candidates}")
+    n = graph.num_nodes
+    remote = np.full((n, max_candidates), -1, dtype=np.int64)
+    remote_scores = np.full((n, max_candidates), -np.inf)
+    neighbors: List[np.ndarray] = []
+    neighbor_scores: List[np.ndarray] = []
+
+    if shuffle and rng is None:
+        rng = np.random.default_rng(0)
+
+    for v in range(n):
+        row = entropy.row(v)
+        neigh = graph.neighbors(v)
+
+        # --- one-hop neighbours, ascending entropy (deletion order) -----
+        neigh_vals = row[neigh]
+        order = np.argsort(neigh_vals, kind="stable")
+        if shuffle:
+            order = rng.permutation(len(neigh))
+        neighbors.append(neigh[order])
+        neighbor_scores.append(neigh_vals[order])
+
+        # --- remote candidates, descending entropy (addition order) -----
+        masked = row.copy()
+        masked[v] = -np.inf
+        masked[neigh] = -np.inf
+        m = min(max_candidates, n - 1 - len(neigh))
+        if m <= 0:
+            continue
+        top = np.argpartition(masked, -m)[-m:]
+        top = top[np.argsort(masked[top], kind="stable")[::-1]]
+        top = top[np.isfinite(masked[top])]
+        if shuffle:
+            pool = np.flatnonzero(np.isfinite(masked))
+            take = min(m, len(pool))
+            top = rng.choice(pool, size=take, replace=False)
+        remote[v, : len(top)] = top
+        remote_scores[v, : len(top)] = masked[top]
+
+    return EntropySequences(
+        remote=remote,
+        remote_scores=remote_scores,
+        neighbors=neighbors,
+        neighbor_scores=neighbor_scores,
+    )

@@ -1,0 +1,53 @@
+"""Shared infrastructure for the GNN backbones.
+
+Every backbone is a :class:`repro.nn.Module` whose ``forward`` takes the
+graph and a feature tensor and returns class logits.  Propagation matrices
+are memoised on the (immutable) graph via :func:`cached_matrix`, so
+re-running many epochs on one topology costs a single normalisation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph import Graph
+from ..nn import Module
+from ..tensor import Tensor
+
+
+def cached_matrix(graph: Graph, key: str, builder: Callable[[Graph], sp.spmatrix]):
+    """Memoise ``builder(graph)`` in the graph's cache under ``key``."""
+    if key not in graph.cache:
+        graph.cache[key] = builder(graph)
+    return graph.cache[key]
+
+
+class GNNBackbone(Module):
+    """Base class: a node classifier ``(graph, X) -> logits``."""
+
+    def __init__(self, in_features: int, num_classes: int) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.num_classes = num_classes
+
+    def forward(self, graph: Graph, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def predict_logits(self, graph: Graph) -> np.ndarray:
+        """Eval-mode logits as a plain array (no autograd bookkeeping)."""
+        was_training = self.training
+        self.eval()
+        out = self.forward(graph, Tensor(graph.features)).data
+        if was_training:
+            self.train()
+        return out
+
+
+def features_tensor(graph: Graph) -> Tensor:
+    """The graph's feature matrix as a constant tensor."""
+    if graph.features is None:
+        raise ValueError("graph has no node features")
+    return Tensor(graph.features)

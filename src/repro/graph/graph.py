@@ -1,0 +1,196 @@
+"""The :class:`Graph` container used across the library.
+
+A graph is ``G = (V, E, X, A)`` as in the paper's Table I: node features
+``X`` (dense ``N x d``), integer labels ``y``, and an undirected, unweighted
+adjacency stored as an edge set plus a cached ``scipy.sparse`` matrix.
+Self-loops are disallowed in the edge set (propagation rules add their own
+self-connections where the layer definition calls for them).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Set, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+Edge = Tuple[int, int]
+
+
+def canonical_edge(u: int, v: int) -> Edge:
+    """Return the undirected edge ``{u, v}`` in sorted-tuple form."""
+    return (u, v) if u < v else (v, u)
+
+
+class Graph:
+    """An attributed, undirected graph.
+
+    Parameters
+    ----------
+    num_nodes:
+        ``N``, the number of nodes.
+    edges:
+        Iterable of ``(u, v)`` pairs; direction and duplicates are ignored,
+        self-loops are rejected.
+    features:
+        Dense node-feature matrix ``X`` of shape ``(N, d)``.
+    labels:
+        Integer class labels ``y`` of shape ``(N,)`` (optional for unlabeled
+        graphs).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        edges: Iterable[Edge],
+        features: Optional[np.ndarray] = None,
+        labels: Optional[np.ndarray] = None,
+    ) -> None:
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        self.num_nodes = int(num_nodes)
+
+        edge_set: Set[Edge] = set()
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if u == v:
+                raise ValueError(f"self-loop ({u}, {v}) is not allowed")
+            if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+                raise ValueError(f"edge ({u}, {v}) out of range for N={num_nodes}")
+            edge_set.add(canonical_edge(u, v))
+        self._edges: FrozenSet[Edge] = frozenset(edge_set)
+
+        if features is not None:
+            features = np.asarray(features, dtype=np.float64)
+            if features.shape[0] != num_nodes:
+                raise ValueError(
+                    f"features have {features.shape[0]} rows for N={num_nodes}"
+                )
+        self.features = features
+
+        if labels is not None:
+            labels = np.asarray(labels, dtype=np.int64)
+            if labels.shape != (num_nodes,):
+                raise ValueError(f"labels shape {labels.shape} != ({num_nodes},)")
+        self.labels = labels
+
+        self._adj: Optional[sp.csr_matrix] = None
+        self.cache: dict = {}
+        """Scratch space for derived structures (propagation matrices, ...).
+
+        Graphs are immutable, so anything derived from the topology can be
+        memoised here; rewiring produces a new ``Graph`` with a fresh cache.
+        """
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> FrozenSet[Edge]:
+        """The canonical undirected edge set."""
+        return self._edges
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def num_features(self) -> int:
+        return 0 if self.features is None else self.features.shape[1]
+
+    @property
+    def num_classes(self) -> int:
+        return 0 if self.labels is None else int(self.labels.max()) + 1
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return canonical_edge(u, v) in self._edges
+
+    # ------------------------------------------------------------------
+    # Derived structures (cached)
+    # ------------------------------------------------------------------
+    def adjacency(self) -> sp.csr_matrix:
+        """Symmetric binary adjacency matrix ``A`` (no self-loops)."""
+        if self._adj is None:
+            if self._edges:
+                rows, cols = zip(*self._edges)
+                rows, cols = np.array(rows), np.array(cols)
+                data = np.ones(len(rows))
+                upper = sp.coo_matrix(
+                    (data, (rows, cols)), shape=(self.num_nodes, self.num_nodes)
+                )
+                self._adj = (upper + upper.T).tocsr()
+            else:
+                self._adj = sp.csr_matrix((self.num_nodes, self.num_nodes))
+        return self._adj
+
+    def degrees(self) -> np.ndarray:
+        """Node degree vector ``d_v``."""
+        return np.asarray(self.adjacency().sum(axis=1)).ravel().astype(np.int64)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted one-hop neighbour ids ``N1(v)``."""
+        adj = self.adjacency()
+        return adj.indices[adj.indptr[v] : adj.indptr[v + 1]].astype(np.int64)
+
+    def edge_index(self) -> np.ndarray:
+        """Directed edge list of shape ``(2, 2|E|)`` with both orientations.
+
+        Row 0 holds source ids, row 1 destination ids — the COO layout the
+        GAT layer consumes.
+        """
+        adj = self.adjacency().tocoo()
+        return np.vstack([adj.row, adj.col]).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Functional updates (graphs are treated as immutable)
+    # ------------------------------------------------------------------
+    def with_edges(self, edges: Iterable[Edge]) -> "Graph":
+        """A copy of this graph with a replaced edge set (shared X, y)."""
+        return Graph(self.num_nodes, edges, self.features, self.labels)
+
+    def add_edges(self, new_edges: Iterable[Edge]) -> "Graph":
+        """A copy with ``new_edges`` added (self-loops rejected)."""
+        merged = set(self._edges)
+        for u, v in new_edges:
+            if u == v:
+                continue
+            merged.add(canonical_edge(int(u), int(v)))
+        return self.with_edges(merged)
+
+    def remove_edges(self, gone_edges: Iterable[Edge]) -> "Graph":
+        """A copy with ``gone_edges`` removed (absent edges ignored)."""
+        removed = {canonical_edge(int(u), int(v)) for u, v in gone_edges}
+        return self.with_edges(self._edges - removed)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"Graph(N={self.num_nodes}, |E|={self.num_edges}, "
+            f"d={self.num_features}, C={self.num_classes})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        same_features = (
+            (self.features is None and other.features is None)
+            or (
+                self.features is not None
+                and other.features is not None
+                and np.array_equal(self.features, other.features)
+            )
+        )
+        same_labels = (
+            (self.labels is None and other.labels is None)
+            or (
+                self.labels is not None
+                and other.labels is not None
+                and np.array_equal(self.labels, other.labels)
+            )
+        )
+        return (
+            self.num_nodes == other.num_nodes
+            and self._edges == other._edges
+            and same_features
+            and same_labels
+        )

@@ -1,0 +1,62 @@
+"""Propagation-matrix constructions shared by the GNN backbones."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .graph import Graph
+
+
+def gcn_norm(graph: Graph, add_self_loops: bool = True) -> sp.csr_matrix:
+    """Symmetric GCN normalisation ``D^{-1/2} (A + I) D^{-1/2}`` (Kipf-Welling).
+
+    With ``add_self_loops=False`` the plain ``D^{-1/2} A D^{-1/2}`` is
+    returned (H2GCN aggregates *without* the ego connection).
+    """
+    adj = graph.adjacency()
+    if add_self_loops:
+        adj = (adj + sp.eye(graph.num_nodes, format="csr")).tocsr()
+    deg = np.asarray(adj.sum(axis=1)).ravel()
+    inv_sqrt = np.zeros_like(deg)
+    nz = deg > 0
+    inv_sqrt[nz] = deg[nz] ** -0.5
+    d_half = sp.diags(inv_sqrt)
+    return (d_half @ adj @ d_half).tocsr()
+
+
+def row_norm(graph: Graph, add_self_loops: bool = False) -> sp.csr_matrix:
+    """Row-normalised adjacency ``D^{-1} A`` (mean aggregation, GraphSAGE)."""
+    adj = graph.adjacency()
+    if add_self_loops:
+        adj = (adj + sp.eye(graph.num_nodes, format="csr")).tocsr()
+    deg = np.asarray(adj.sum(axis=1)).ravel()
+    inv = np.zeros_like(deg)
+    nz = deg > 0
+    inv[nz] = 1.0 / deg[nz]
+    return (sp.diags(inv) @ adj).tocsr()
+
+
+def two_hop_adjacency(graph: Graph) -> sp.csr_matrix:
+    """Strict 2-hop adjacency: reachable in exactly two hops, excluding
+    one-hop neighbours and the ego node (the H2GCN neighbourhood N2)."""
+    adj = graph.adjacency()
+    two = (adj @ adj).tocsr()
+    two.setdiag(0)
+    two.eliminate_zeros()
+    two.data = np.ones_like(two.data)
+    # Remove entries that are also one-hop edges.
+    overlap = two.multiply(adj)
+    two = (two - overlap).tocsr()
+    two.eliminate_zeros()
+    return two
+
+
+def adjacency_from_matrix(matrix: sp.spmatrix) -> sp.csr_matrix:
+    """Binarise and symmetrise an arbitrary sparse matrix (kNN graphs)."""
+    m = matrix.tocsr()
+    m.data = np.ones_like(m.data)
+    sym = ((m + m.T) > 0).astype(np.float64).tocsr()
+    sym.setdiag(0)
+    sym.eliminate_zeros()
+    return sym

@@ -1,0 +1,78 @@
+"""Train/validation/test splits.
+
+The paper adopts the Geom-GCN protocol: ten random splits with 60%/20%/20%
+of the nodes *per class* assigned to train/val/test.  Splits are seeded and
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .graph import Graph
+
+
+@dataclass(frozen=True)
+class Split:
+    """Index arrays for one train/val/test partition."""
+
+    train: np.ndarray
+    val: np.ndarray
+    test: np.ndarray
+
+    def masks(self, num_nodes: int) -> tuple:
+        """Boolean masks (train, val, test) of length ``num_nodes``."""
+        out = []
+        for idx in (self.train, self.val, self.test):
+            mask = np.zeros(num_nodes, dtype=bool)
+            mask[idx] = True
+            out.append(mask)
+        return tuple(out)
+
+
+def random_split(
+    labels: np.ndarray,
+    rng: np.random.Generator,
+    train_frac: float = 0.6,
+    val_frac: float = 0.2,
+) -> Split:
+    """One per-class stratified split with the given fractions."""
+    if train_frac + val_frac >= 1.0:
+        raise ValueError("train_frac + val_frac must leave room for a test set")
+    labels = np.asarray(labels)
+    train, val, test = [], [], []
+    for c in np.unique(labels):
+        members = np.flatnonzero(labels == c)
+        members = rng.permutation(members)
+        n_train = max(1, int(round(train_frac * len(members))))
+        n_val = max(1, int(round(val_frac * len(members))))
+        n_train = min(n_train, max(1, len(members) - 2))
+        n_val = min(n_val, max(1, len(members) - n_train - 1))
+        train.append(members[:n_train])
+        val.append(members[n_train : n_train + n_val])
+        test.append(members[n_train + n_val :])
+    return Split(
+        train=np.sort(np.concatenate(train)),
+        val=np.sort(np.concatenate(val)),
+        test=np.sort(np.concatenate(test)),
+    )
+
+
+def geom_gcn_splits(
+    graph: Graph,
+    num_splits: int = 10,
+    seed: int = 0,
+    train_frac: float = 0.6,
+    val_frac: float = 0.2,
+) -> List[Split]:
+    """The paper's ten 60/20/20 random splits, deterministically seeded."""
+    if graph.labels is None:
+        raise ValueError("splits require node labels")
+    rng = np.random.default_rng(seed)
+    return [
+        random_split(graph.labels, rng, train_frac, val_frac)
+        for _ in range(num_splits)
+    ]

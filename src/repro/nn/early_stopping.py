@@ -1,0 +1,45 @@
+"""Early-stopping helper used during GNN (co-)training.
+
+The paper trains the GNN "for a few more epochs" on a promising topology and
+"to prevent overfitting on G_t, an early stopping strategy is implemented"
+(Sec. IV-B).  This class tracks the best validation score and signals when
+patience is exhausted; it also snapshots the best model state so the caller
+can restore it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .module import Module
+
+
+class EarlyStopping:
+    """Stop when a maximised metric fails to improve for ``patience`` steps."""
+
+    def __init__(self, patience: int = 20, min_delta: float = 0.0) -> None:
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best_score: float = -np.inf
+        self.best_state: Optional[Dict[str, np.ndarray]] = None
+        self.counter = 0
+
+    def step(self, score: float, model: Optional[Module] = None) -> bool:
+        """Record ``score``; return True when training should stop."""
+        if score > self.best_score + self.min_delta:
+            self.best_score = score
+            self.counter = 0
+            if model is not None:
+                self.best_state = model.state_dict()
+            return False
+        self.counter += 1
+        return self.counter >= self.patience
+
+    def restore(self, model: Module) -> None:
+        """Load the best snapshot back into ``model`` (no-op if none taken)."""
+        if self.best_state is not None:
+            model.load_state_dict(self.best_state)

@@ -1,0 +1,30 @@
+"""Deep RL substrate: PPO/A2C/REINFORCE with multi-discrete actions
+(replaces OpenAI Gym + Stable-Baselines3)."""
+
+from .a2c import A2C, A2CConfig
+from .buffer import RolloutBuffer
+from .distributions import Categorical, MultiDiscreteDistribution
+from .env import Env, MultiDiscreteSpace
+from .policy import NodePolicy
+from .ppo import PPO, PPOConfig, PPOStats
+from .registry import AGENTS, agent_names, build_agent
+from .reinforce import Reinforce, ReinforceConfig
+
+__all__ = [
+    "A2C",
+    "A2CConfig",
+    "AGENTS",
+    "Categorical",
+    "Env",
+    "MultiDiscreteDistribution",
+    "MultiDiscreteSpace",
+    "NodePolicy",
+    "PPO",
+    "PPOConfig",
+    "PPOStats",
+    "Reinforce",
+    "ReinforceConfig",
+    "RolloutBuffer",
+    "agent_names",
+    "build_agent",
+]

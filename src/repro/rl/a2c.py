@@ -1,0 +1,126 @@
+"""Advantage Actor-Critic (A2C), synchronous single-worker variant.
+
+A middle ground between REINFORCE and PPO: a learned critic provides the
+baseline and bootstrapping (via GAE), but the policy update is a single
+unclipped gradient step per rollout.  Shares the rollout/update/learn API
+with :class:`repro.rl.PPO` so the GraphRARE framework can swap agents via
+``RareConfig.rl_algorithm``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import Adam
+from .buffer import RolloutBuffer
+from .env import Env
+from .policy import NodePolicy
+from .ppo import PPOStats
+
+
+@dataclass
+class A2CConfig:
+    """Hyper-parameters of the A2C update."""
+
+    lr: float = 3e-3
+    gamma: float = 0.99
+    gae_lambda: float = 0.95
+    value_coef: float = 0.5
+    entropy_coef: float = 0.01
+    max_grad_norm: float = 0.5
+    normalize_advantages: bool = True
+
+
+class A2C:
+    """Single-worker A2C with GAE advantages."""
+
+    def __init__(
+        self,
+        policy: NodePolicy,
+        config: Optional[A2CConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.policy = policy
+        self.config = config or A2CConfig()
+        self.rng = rng or np.random.default_rng(0)
+        self.optimizer = Adam(policy.parameters(), lr=self.config.lr)
+        self.history: List[PPOStats] = []
+        self._last_obs = None
+
+    # ------------------------------------------------------------------
+    def collect_rollout(self, env: Env, num_steps: int) -> RolloutBuffer:
+        buffer = RolloutBuffer(
+            gamma=self.config.gamma, gae_lambda=self.config.gae_lambda
+        )
+        obs = env.reset()
+        for _ in range(num_steps):
+            action, log_prob, value = self.policy.act(obs, self.rng)
+            next_obs, reward, done, _ = env.step(action)
+            buffer.add(obs, action, reward, value, log_prob, done)
+            obs = env.reset() if done else next_obs
+        self._last_obs = obs
+        return buffer
+
+    def update(self, buffer: RolloutBuffer) -> PPOStats:
+        """One joint actor-critic gradient step over the rollout."""
+        cfg = self.config
+        if buffer.dones and buffer.dones[-1]:
+            last_value = 0.0
+        else:
+            last_value = self.policy.value(self._last_obs).item()
+        advantages, returns = buffer.compute_advantages(last_value)
+        if cfg.normalize_advantages and len(advantages) > 1:
+            advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+
+        policy_losses, value_losses, entropies = [], [], []
+        for idx in range(len(buffer)):
+            log_prob, entropy, value = self.policy.evaluate_actions(
+                buffer.observations[idx], buffer.actions[idx]
+            )
+            policy_loss = -log_prob * advantages[idx]
+            value_err = value - returns[idx]
+            value_loss = value_err * value_err
+            loss = (
+                policy_loss + cfg.value_coef * value_loss
+                - cfg.entropy_coef * entropy
+            )
+            self.optimizer.zero_grad()
+            loss.backward()
+            self._clip_gradients(cfg.max_grad_norm)
+            self.optimizer.step()
+            policy_losses.append(policy_loss.item())
+            value_losses.append(value_loss.item())
+            entropies.append(entropy.item())
+
+        stats = PPOStats(
+            mean_reward=float(np.mean(buffer.rewards)),
+            policy_loss=float(np.mean(policy_losses)),
+            value_loss=float(np.mean(value_losses)),
+            entropy=float(np.mean(entropies)),
+            num_steps=len(buffer),
+        )
+        self.history.append(stats)
+        return stats
+
+    def _clip_gradients(self, max_norm: float) -> None:
+        if max_norm <= 0:
+            return
+        params = [p for p in self.policy.parameters() if p.grad is not None]
+        total = sum(float((p.grad**2).sum()) for p in params)
+        norm = np.sqrt(total)
+        if norm > max_norm:
+            scale = max_norm / (norm + 1e-12)
+            for p in params:
+                p.grad *= scale
+
+    def learn(self, env: Env, total_steps: int, rollout_steps: int = 16):
+        collected = 0
+        while collected < total_steps:
+            steps = min(rollout_steps, total_steps - collected)
+            buffer = self.collect_rollout(env, steps)
+            self.update(buffer)
+            collected += steps
+        return self.history

@@ -1,0 +1,81 @@
+"""Rollout storage with Generalised Advantage Estimation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+
+@dataclass
+class RolloutBuffer:
+    """Trajectory storage for one or more episodes of the topology MDP."""
+
+    gamma: float = 0.99
+    gae_lambda: float = 0.95
+    observations: List[np.ndarray] = field(default_factory=list)
+    actions: List[np.ndarray] = field(default_factory=list)
+    rewards: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+    log_probs: List[float] = field(default_factory=list)
+    dones: List[bool] = field(default_factory=list)
+
+    def add(
+        self,
+        obs: np.ndarray,
+        action: np.ndarray,
+        reward: float,
+        value: float,
+        log_prob: float,
+        done: bool,
+    ) -> None:
+        self.observations.append(np.asarray(obs))
+        self.actions.append(np.asarray(action))
+        self.rewards.append(float(reward))
+        self.values.append(float(value))
+        self.log_probs.append(float(log_prob))
+        self.dones.append(bool(done))
+
+    def __len__(self) -> int:
+        return len(self.rewards)
+
+    def clear(self) -> None:
+        for lst in (
+            self.observations,
+            self.actions,
+            self.rewards,
+            self.values,
+            self.log_probs,
+            self.dones,
+        ):
+            lst.clear()
+
+    def compute_advantages(self, last_value: float = 0.0) -> tuple:
+        """GAE(lambda) advantages and discounted returns.
+
+        ``last_value`` bootstraps the value of the state following the final
+        transition (zero when that transition ended an episode).
+        Returns ``(advantages, returns)`` as float arrays.
+        """
+        n = len(self)
+        if n == 0:
+            raise ValueError("cannot compute advantages of an empty buffer")
+        advantages = np.zeros(n)
+        gae = 0.0
+        for t in reversed(range(n)):
+            if self.dones[t]:
+                next_value = 0.0
+                next_non_terminal = 0.0
+            else:
+                next_value = self.values[t + 1] if t + 1 < n else last_value
+                next_non_terminal = 1.0
+            delta = (
+                self.rewards[t]
+                + self.gamma * next_value * next_non_terminal
+                - self.values[t]
+            )
+            gae = delta + self.gamma * self.gae_lambda * next_non_terminal * gae
+            advantages[t] = gae
+        returns = advantages + np.asarray(self.values)
+        return advantages, returns

@@ -1,0 +1,92 @@
+"""Actor-critic network for the multi-discrete topology MDP.
+
+The paper's PPO policy is an MLP (Sec. V-C).  Because the action has two
+ternary components *per node*, we share the MLP across nodes: each node's
+observation row passes through a common trunk, then two linear heads emit
+the (dec / keep / inc) logits for ``k`` and ``d``.  The critic mean-pools
+trunk features and predicts a scalar state value.  Parameter sharing keeps
+the network size independent of the graph size, exactly like SB3's handling
+of ``MultiDiscrete([3] * 2N)`` up to weight tying.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..nn import MLP, Linear, Module
+from ..tensor import Tensor, ops
+from .distributions import MultiDiscreteDistribution
+
+
+class NodePolicy(Module):
+    """Per-node actor-critic with a shared trunk.
+
+    Parameters
+    ----------
+    obs_dim:
+        Number of features in each node's observation row.
+    num_choices:
+        Choices per action component (3: decrement / keep / increment).
+    hidden:
+        Trunk width.
+    """
+
+    def __init__(
+        self,
+        obs_dim: int,
+        num_choices: int = 3,
+        hidden: int = 64,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.obs_dim = obs_dim
+        self.num_choices = num_choices
+        self.trunk = MLP(obs_dim, [hidden], hidden, rng, activation="tanh")
+        self.k_head = Linear(hidden, num_choices, rng)
+        self.d_head = Linear(hidden, num_choices, rng)
+        self.value_head = Linear(hidden, 1, rng)
+
+    # ------------------------------------------------------------------
+    def _trunk_features(self, obs: np.ndarray) -> Tensor:
+        obs = np.asarray(obs, dtype=np.float64)
+        if obs.ndim != 2 or obs.shape[1] != self.obs_dim:
+            raise ValueError(
+                f"observation must be (num_nodes, {self.obs_dim}), got {obs.shape}"
+            )
+        return ops.tanh(self.trunk(Tensor(obs)))
+
+    def distribution(self, obs: np.ndarray) -> MultiDiscreteDistribution:
+        """Joint action distribution for one observation."""
+        feats = self._trunk_features(obs)
+        logits = ops.concat([self.k_head(feats), self.d_head(feats)], axis=0)
+        return MultiDiscreteDistribution(logits)
+
+    def value(self, obs: np.ndarray) -> Tensor:
+        """Scalar state-value estimate (mean-pooled node values)."""
+        feats = self._trunk_features(obs)
+        return ops.mean(self.value_head(feats))
+
+    # ------------------------------------------------------------------
+    def act(
+        self, obs: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, float, float]:
+        """Sample an action; returns ``(action, log_prob, value)``.
+
+        ``action`` is a flat int vector of length ``2 * num_nodes``: the
+        first half are the ``k`` choices, the second half the ``d`` choices.
+        """
+        dist = self.distribution(obs)
+        action = dist.sample(rng)
+        log_prob = dist.log_prob(action).item()
+        value = self.value(obs).item()
+        return action, log_prob, value
+
+    def evaluate_actions(
+        self, obs: np.ndarray, action: np.ndarray
+    ) -> Tuple[Tensor, Tensor, Tensor]:
+        """Differentiable ``(log_prob, entropy, value)`` for a PPO update."""
+        dist = self.distribution(obs)
+        return dist.log_prob(action), dist.entropy(), self.value(obs)

@@ -1,0 +1,156 @@
+"""Proximal Policy Optimization (Schulman et al., 2017) [35].
+
+The clipped-surrogate variant with GAE, value-loss and entropy-bonus terms,
+as implemented by Stable-Baselines3 [33], which the paper uses.  Works with
+any :class:`repro.rl.env.Env`; the GraphRARE topology environment lives in
+``repro.core``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import Adam
+from ..tensor import Tensor, ops
+from .buffer import RolloutBuffer
+from .env import Env
+from .policy import NodePolicy
+
+
+@dataclass
+class PPOConfig:
+    """Hyper-parameters of the PPO update."""
+
+    lr: float = 3e-3
+    gamma: float = 0.99
+    gae_lambda: float = 0.95
+    clip_range: float = 0.2
+    value_coef: float = 0.5
+    entropy_coef: float = 0.01
+    update_epochs: int = 4
+    max_grad_norm: float = 0.5
+    normalize_advantages: bool = True
+
+
+@dataclass
+class PPOStats:
+    """Diagnostics from one learning iteration."""
+
+    mean_reward: float
+    policy_loss: float
+    value_loss: float
+    entropy: float
+    num_steps: int
+
+
+class PPO:
+    """PPO driver: collect a rollout from an env, then update the policy."""
+
+    def __init__(
+        self,
+        policy: NodePolicy,
+        config: Optional[PPOConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.policy = policy
+        self.config = config or PPOConfig()
+        self.rng = rng or np.random.default_rng(0)
+        self.optimizer = Adam(policy.parameters(), lr=self.config.lr)
+        self.history: List[PPOStats] = []
+
+    # ------------------------------------------------------------------
+    def collect_rollout(self, env: Env, num_steps: int) -> RolloutBuffer:
+        """Run the policy in ``env`` for ``num_steps`` transitions."""
+        buffer = RolloutBuffer(
+            gamma=self.config.gamma, gae_lambda=self.config.gae_lambda
+        )
+        obs = env.reset()
+        for _ in range(num_steps):
+            action, log_prob, value = self.policy.act(obs, self.rng)
+            next_obs, reward, done, _ = env.step(action)
+            buffer.add(obs, action, reward, value, log_prob, done)
+            obs = env.reset() if done else next_obs
+        self._last_obs = obs
+        return buffer
+
+    # ------------------------------------------------------------------
+    def update(self, buffer: RolloutBuffer) -> PPOStats:
+        """One PPO learning phase over the collected rollout."""
+        cfg = self.config
+        if buffer.dones and buffer.dones[-1]:
+            last_value = 0.0
+        else:
+            last_value = self.policy.value(self._last_obs).item()
+        advantages, returns = buffer.compute_advantages(last_value)
+        if cfg.normalize_advantages and len(advantages) > 1:
+            advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+
+        policy_losses, value_losses, entropies = [], [], []
+        for _ in range(cfg.update_epochs):
+            order = self.rng.permutation(len(buffer))
+            for idx in order:
+                obs = buffer.observations[idx]
+                action = buffer.actions[idx]
+                old_log_prob = buffer.log_probs[idx]
+                adv = advantages[idx]
+                ret = returns[idx]
+
+                log_prob, entropy, value = self.policy.evaluate_actions(obs, action)
+                ratio = ops.exp(log_prob - old_log_prob)
+                surr1 = ratio * adv
+                surr2 = ops.clamp(ratio, 1.0 - cfg.clip_range, 1.0 + cfg.clip_range) * adv
+                policy_loss = -ops.minimum(surr1, surr2)
+                value_err = value - ret
+                value_loss = value_err * value_err
+                loss = (
+                    policy_loss
+                    + cfg.value_coef * value_loss
+                    - cfg.entropy_coef * entropy
+                )
+
+                self.optimizer.zero_grad()
+                loss.backward()
+                self._clip_gradients(cfg.max_grad_norm)
+                self.optimizer.step()
+
+                policy_losses.append(policy_loss.item())
+                value_losses.append(value_loss.item())
+                entropies.append(entropy.item())
+
+        stats = PPOStats(
+            mean_reward=float(np.mean(buffer.rewards)),
+            policy_loss=float(np.mean(policy_losses)),
+            value_loss=float(np.mean(value_losses)),
+            entropy=float(np.mean(entropies)),
+            num_steps=len(buffer),
+        )
+        self.history.append(stats)
+        return stats
+
+    def _clip_gradients(self, max_norm: float) -> None:
+        """Global-norm gradient clipping, as in SB3."""
+        if max_norm <= 0:
+            return
+        total = 0.0
+        params = [p for p in self.policy.parameters() if p.grad is not None]
+        for p in params:
+            total += float((p.grad**2).sum())
+        norm = np.sqrt(total)
+        if norm > max_norm:
+            scale = max_norm / (norm + 1e-12)
+            for p in params:
+                p.grad *= scale
+
+    # ------------------------------------------------------------------
+    def learn(self, env: Env, total_steps: int, rollout_steps: int = 16) -> List[PPOStats]:
+        """Alternate rollout collection and updates until ``total_steps``."""
+        collected = 0
+        while collected < total_steps:
+            steps = min(rollout_steps, total_steps - collected)
+            buffer = self.collect_rollout(env, steps)
+            self.update(buffer)
+            collected += steps
+        return self.history

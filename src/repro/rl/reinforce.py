@@ -1,0 +1,126 @@
+"""REINFORCE (Monte-Carlo policy gradient) with a moving-average baseline.
+
+The paper notes (Sec. IV-B) that "in addition to the PPO algorithm, other
+reinforcement learning algorithms can also be conveniently applied to the
+proposed framework"; this module and :mod:`repro.rl.a2c` make that claim
+concrete.  REINFORCE is the simplest possible agent: no critic, whole-
+episode returns, a scalar baseline to cut variance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import Adam
+from .buffer import RolloutBuffer
+from .env import Env
+from .policy import NodePolicy
+from .ppo import PPOStats
+
+
+@dataclass
+class ReinforceConfig:
+    """Hyper-parameters of the REINFORCE update."""
+
+    lr: float = 3e-3
+    gamma: float = 0.99
+    entropy_coef: float = 0.01
+    baseline_decay: float = 0.9
+    """Exponential moving-average factor for the scalar return baseline."""
+
+
+class Reinforce:
+    """Episodic policy-gradient agent with the same driver API as PPO."""
+
+    def __init__(
+        self,
+        policy: NodePolicy,
+        config: Optional[ReinforceConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.policy = policy
+        self.config = config or ReinforceConfig()
+        self.rng = rng or np.random.default_rng(0)
+        self.optimizer = Adam(policy.parameters(), lr=self.config.lr)
+        self.history: List[PPOStats] = []
+        self._baseline = 0.0
+        self._baseline_initialised = False
+
+    # ------------------------------------------------------------------
+    def collect_rollout(self, env: Env, num_steps: int) -> RolloutBuffer:
+        """Run the policy for ``num_steps`` transitions (value slot unused)."""
+        buffer = RolloutBuffer(gamma=self.config.gamma)
+        obs = env.reset()
+        for _ in range(num_steps):
+            action, log_prob, _ = self.policy.act(obs, self.rng)
+            next_obs, reward, done, _ = env.step(action)
+            buffer.add(obs, action, reward, 0.0, log_prob, done)
+            obs = env.reset() if done else next_obs
+        return buffer
+
+    def _returns(self, buffer: RolloutBuffer) -> np.ndarray:
+        """Discounted returns-to-go, restarting at episode boundaries."""
+        n = len(buffer)
+        returns = np.zeros(n)
+        running = 0.0
+        for t in reversed(range(n)):
+            if buffer.dones[t]:
+                running = 0.0
+            running = buffer.rewards[t] + self.config.gamma * running
+            returns[t] = running
+        return returns
+
+    def update(self, buffer: RolloutBuffer) -> PPOStats:
+        """One REINFORCE gradient step over the rollout."""
+        cfg = self.config
+        returns = self._returns(buffer)
+
+        mean_return = float(returns.mean())
+        if not self._baseline_initialised:
+            self._baseline = mean_return
+            self._baseline_initialised = True
+        else:
+            self._baseline = (
+                cfg.baseline_decay * self._baseline
+                + (1.0 - cfg.baseline_decay) * mean_return
+            )
+        advantages = returns - self._baseline
+
+        # One batched gradient step per rollout: per-sample Adam steps make
+        # REINFORCE collapse (later samples see a policy already moved by
+        # earlier ones while their advantages are stale).
+        policy_losses, entropies = [], []
+        self.optimizer.zero_grad()
+        scale = 1.0 / max(len(buffer), 1)
+        for idx in range(len(buffer)):
+            log_prob, entropy, _ = self.policy.evaluate_actions(
+                buffer.observations[idx], buffer.actions[idx]
+            )
+            loss = (-log_prob * advantages[idx] - cfg.entropy_coef * entropy) * scale
+            loss.backward()
+            policy_losses.append(-log_prob.item() * advantages[idx])
+            entropies.append(entropy.item())
+        self.optimizer.step()
+
+        stats = PPOStats(
+            mean_reward=float(np.mean(buffer.rewards)),
+            policy_loss=float(np.mean(policy_losses)),
+            value_loss=0.0,
+            entropy=float(np.mean(entropies)),
+            num_steps=len(buffer),
+        )
+        self.history.append(stats)
+        return stats
+
+    def learn(self, env: Env, total_steps: int, rollout_steps: int = 16):
+        """Alternate rollouts and updates until ``total_steps``."""
+        collected = 0
+        while collected < total_steps:
+            steps = min(rollout_steps, total_steps - collected)
+            buffer = self.collect_rollout(env, steps)
+            self.update(buffer)
+            collected += steps
+        return self.history

@@ -1,0 +1,7 @@
+"""Autograd substrate for the GraphRARE reproduction (replaces PyTorch)."""
+
+from . import ops
+from .grad_check import gradcheck, numerical_gradient
+from .tensor import Tensor, unbroadcast
+
+__all__ = ["Tensor", "ops", "gradcheck", "numerical_gradient", "unbroadcast"]

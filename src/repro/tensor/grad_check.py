@@ -1,0 +1,64 @@
+"""Numerical gradient checking for the autograd engine.
+
+Used by the test-suite (including hypothesis property tests) to verify every
+operation's backward pass against central finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    wrt: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central finite-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input."""
+    base = [np.asarray(x, dtype=np.float64).copy() for x in inputs]
+    target = base[wrt]
+    grad = np.zeros_like(target)
+    it = np.nditer(target, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = target[idx]
+        target[idx] = orig + eps
+        plus = float(fn(*[Tensor(x) for x in base]).data.sum())
+        target[idx] = orig - eps
+        minus = float(fn(*[Tensor(x) for x in base]).data.sum())
+        target[idx] = orig
+        grad[idx] = (plus - minus) / (2.0 * eps)
+        it.iternext()
+    return grad
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+    eps: float = 1e-6,
+) -> bool:
+    """Compare analytic gradients of ``sum(fn(*inputs))`` against numerical ones.
+
+    Raises ``AssertionError`` with a diagnostic message on mismatch; returns
+    ``True`` otherwise, so it can sit inside a bare ``assert``.
+    """
+    tensors = [Tensor(np.asarray(x, dtype=np.float64), requires_grad=True) for x in inputs]
+    out = fn(*tensors)
+    out.backward(np.ones_like(out.data))
+    for i, t in enumerate(tensors):
+        analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
+        numeric = numerical_gradient(fn, [t.data for t in tensors], wrt=i, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(analytic - numeric))
+            raise AssertionError(
+                f"gradcheck failed for input {i}: max abs error {worst:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            )
+    return True

@@ -1,0 +1,514 @@
+"""Functional operations on :class:`repro.tensor.Tensor`.
+
+Each function builds the result tensor and wires a backward closure that
+pushes gradients to its inputs.  Constant (non-``Tensor``) operands are
+accepted wherever a scalar or array makes sense.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from .tensor import Tensor, unbroadcast
+
+
+def _t(x) -> Tensor:
+    return x if isinstance(x, Tensor) else Tensor(x)
+
+
+# ---------------------------------------------------------------------------
+# Elementwise binary ops
+# ---------------------------------------------------------------------------
+def add(a: Tensor, b: Tensor) -> Tensor:
+    a, b = _t(a), _t(b)
+    out_data = a.data + b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(unbroadcast(grad, a.shape))
+        b._accumulate(unbroadcast(grad, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def sub(a: Tensor, b: Tensor) -> Tensor:
+    a, b = _t(a), _t(b)
+    out_data = a.data - b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(unbroadcast(grad, a.shape))
+        b._accumulate(unbroadcast(-grad, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    a, b = _t(a), _t(b)
+    out_data = a.data * b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(unbroadcast(grad * b.data, a.shape))
+        b._accumulate(unbroadcast(grad * a.data, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def div(a: Tensor, b: Tensor) -> Tensor:
+    a, b = _t(a), _t(b)
+    out_data = a.data / b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(unbroadcast(grad / b.data, a.shape))
+        b._accumulate(unbroadcast(-grad * a.data / (b.data**2), b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def minimum(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise minimum; the gradient flows to the smaller operand.
+
+    Ties route the gradient to ``a`` (consistent with a sub-gradient choice).
+    """
+    a, b = _t(a), _t(b)
+    take_a = a.data <= b.data
+    out_data = np.where(take_a, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(unbroadcast(grad * take_a, a.shape))
+        b._accumulate(unbroadcast(grad * ~take_a, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def maximum(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise maximum; ties route the gradient to ``a``."""
+    a, b = _t(a), _t(b)
+    take_a = a.data >= b.data
+    out_data = np.where(take_a, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(unbroadcast(grad * take_a, a.shape))
+        b._accumulate(unbroadcast(grad * ~take_a, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+# ---------------------------------------------------------------------------
+# Elementwise unary ops
+# ---------------------------------------------------------------------------
+def neg(a: Tensor) -> Tensor:
+    a = _t(a)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(-grad)
+
+    return Tensor._make(-a.data, (a,), backward)
+
+
+def pow(a: Tensor, exponent: float) -> Tensor:
+    a = _t(a)
+    out_data = a.data**exponent
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * exponent * a.data ** (exponent - 1))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def exp(a: Tensor) -> Tensor:
+    a = _t(a)
+    out_data = np.exp(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * out_data)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def log(a: Tensor) -> Tensor:
+    a = _t(a)
+    out_data = np.log(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad / a.data)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def sqrt(a: Tensor) -> Tensor:
+    return pow(a, 0.5)
+
+
+def abs(a: Tensor) -> Tensor:  # noqa: A001 - mirrors numpy naming
+    a = _t(a)
+    sign = np.sign(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * sign)
+
+    return Tensor._make(np.abs(a.data), (a,), backward)
+
+
+def clamp(a: Tensor, lo: Optional[float] = None, hi: Optional[float] = None) -> Tensor:
+    """Clamp values to ``[lo, hi]``; the gradient is zero where clipped."""
+    a = _t(a)
+    out_data = np.clip(a.data, lo, hi)
+    passthrough = np.ones_like(a.data)
+    if lo is not None:
+        passthrough = passthrough * (a.data >= lo)
+    if hi is not None:
+        passthrough = passthrough * (a.data <= hi)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * passthrough)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def relu(a: Tensor) -> Tensor:
+    a = _t(a)
+    mask = a.data > 0
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * mask)
+
+    return Tensor._make(a.data * mask, (a,), backward)
+
+
+def leaky_relu(a: Tensor, negative_slope: float = 0.2) -> Tensor:
+    a = _t(a)
+    scale = np.where(a.data > 0, 1.0, negative_slope)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * scale)
+
+    return Tensor._make(a.data * scale, (a,), backward)
+
+
+def elu(a: Tensor, alpha: float = 1.0) -> Tensor:
+    a = _t(a)
+    pos = a.data > 0
+    neg_part = alpha * (np.exp(np.minimum(a.data, 0.0)) - 1.0)
+    out_data = np.where(pos, a.data, neg_part)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * np.where(pos, 1.0, neg_part + alpha))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def tanh(a: Tensor) -> Tensor:
+    a = _t(a)
+    out_data = np.tanh(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * (1.0 - out_data**2))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    a = _t(a)
+    out_data = 1.0 / (1.0 + np.exp(-a.data))
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * out_data * (1.0 - out_data))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Reductions and shape ops
+# ---------------------------------------------------------------------------
+def sum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    a = _t(a)
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad
+        if axis is not None and not keepdims:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            for ax in sorted(ax % a.ndim for ax in axes):
+                g = np.expand_dims(g, ax)
+        a._accumulate(np.broadcast_to(g, a.shape).copy())
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    a = _t(a)
+    if axis is None:
+        count = a.size
+    else:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        count = int(np.prod([a.shape[ax] for ax in axes]))
+    return sum(a, axis=axis, keepdims=keepdims) * (1.0 / count)
+
+
+def reshape(a: Tensor, shape: tuple) -> Tensor:
+    a = _t(a)
+    old_shape = a.shape
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad.reshape(old_shape))
+
+    return Tensor._make(a.data.reshape(shape), (a,), backward)
+
+
+def transpose(a: Tensor) -> Tensor:
+    a = _t(a)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad.T)
+
+    return Tensor._make(a.data.T, (a,), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [_t(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(start, stop)
+            t._accumulate(grad[tuple(index)])
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [_t(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        slabs = np.moveaxis(grad, axis, 0)
+        for t, slab in zip(tensors, slabs):
+            t._accumulate(slab)
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+# ---------------------------------------------------------------------------
+# Linear algebra
+# ---------------------------------------------------------------------------
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    a, b = _t(a), _t(b)
+    out_data = a.data @ b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad @ b.data.T)
+        b._accumulate(a.data.T @ grad)
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def spmm(matrix: sp.spmatrix, x: Tensor) -> Tensor:
+    """Multiply a *constant* scipy sparse matrix by a dense tensor.
+
+    The sparse operand carries no gradient (it encodes graph structure);
+    the gradient w.r.t. ``x`` is ``matrix.T @ grad``.
+    """
+    x = _t(x)
+    matrix = matrix.tocsr()
+    out_data = np.asarray(matrix @ x.data)
+    matrix_t = matrix.T.tocsr()
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(np.asarray(matrix_t @ grad))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Indexing
+# ---------------------------------------------------------------------------
+def gather_rows(x: Tensor, index: np.ndarray) -> Tensor:
+    """Select rows ``x[index]``; duplicate indices are supported."""
+    x = _t(x)
+    index = np.asarray(index, dtype=np.int64)
+    out_data = x.data[index]
+
+    def backward(grad: np.ndarray) -> None:
+        buf = np.zeros_like(x.data)
+        np.add.at(buf, index, grad)
+        x._accumulate(buf)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def scatter_add_rows(src: Tensor, index: np.ndarray, num_rows: int) -> Tensor:
+    """Sum rows of ``src`` into ``num_rows`` buckets given by ``index``.
+
+    The inverse of :func:`gather_rows`: ``out[i] = sum_{j: index[j]=i} src[j]``.
+    """
+    src = _t(src)
+    index = np.asarray(index, dtype=np.int64)
+    out_shape = (num_rows,) + src.shape[1:]
+    out_data = np.zeros(out_shape)
+    np.add.at(out_data, index, src.data)
+
+    def backward(grad: np.ndarray) -> None:
+        src._accumulate(grad[index])
+
+    return Tensor._make(out_data, (src,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Softmax family
+# ---------------------------------------------------------------------------
+def log_softmax(a: Tensor, axis: int = -1) -> Tensor:
+    a = _t(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_z
+    softmax_data = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad - softmax_data * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def softmax(a: Tensor, axis: int = -1) -> Tensor:
+    a = _t(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out_data = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        inner = (grad * out_data).sum(axis=axis, keepdims=True)
+        a._accumulate(out_data * (grad - inner))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def segment_softmax(logits: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Softmax over variable-sized segments (edge-softmax for GAT).
+
+    ``logits`` has shape ``(E,)`` or ``(E, H)``; entries sharing a segment id
+    (destination node) are normalised together.  The per-segment max used for
+    numerical stability is treated as a constant, which leaves the gradient
+    of the softmax unchanged.
+    """
+    logits = _t(logits)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+
+    seg_max = np.full((num_segments,) + logits.shape[1:], -np.inf)
+    np.maximum.at(seg_max, segment_ids, logits.data)
+    shifted = logits.data - seg_max[segment_ids]
+    e = np.exp(shifted)
+    denom = np.zeros((num_segments,) + logits.shape[1:])
+    np.add.at(denom, segment_ids, e)
+    out_data = e / denom[segment_ids]
+
+    def backward(grad: np.ndarray) -> None:
+        weighted = grad * out_data
+        seg_sum = np.zeros((num_segments,) + logits.shape[1:])
+        np.add.at(seg_sum, segment_ids, weighted)
+        logits._accumulate(weighted - out_data * seg_sum[segment_ids])
+
+    return Tensor._make(out_data, (logits,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Regularisation
+# ---------------------------------------------------------------------------
+def dropout(a: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: zero entries with probability ``p`` and rescale."""
+    a = _t(a)
+    if not training or p <= 0.0:
+        return a
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    mask = (rng.random(a.shape) >= p) / (1.0 - p)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * mask)
+
+    return Tensor._make(a.data * mask, (a,), backward)
+
+
+def max(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Max reduction; gradient flows to the (first) maximal entries."""
+    a = _t(a)
+    out_data = a.data.max(axis=axis, keepdims=keepdims)
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad
+        out = out_data
+        if axis is not None and not keepdims:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            for ax in sorted(ax % a.ndim for ax in axes):
+                g = np.expand_dims(g, ax)
+                out = np.expand_dims(out, ax)
+        elif axis is None:
+            g = np.asarray(g).reshape((1,) * a.ndim)
+            out = np.asarray(out).reshape((1,) * a.ndim)
+        mask = a.data == out
+        # Split gradient across ties to keep the adjoint consistent.
+        counts = mask.sum(
+            axis=axis if axis is not None else None, keepdims=True
+        )
+        a._accumulate(np.broadcast_to(g, a.shape) * mask / counts)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def min(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Min reduction (via max of the negation)."""
+    return neg(max(neg(_t(a)), axis=axis, keepdims=keepdims))
+
+
+def var(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    """Population variance (ddof=0), differentiable."""
+    a = _t(a)
+    mu = mean(a, axis=axis, keepdims=True)
+    centered = a - mu
+    return mean(centered * centered, axis=axis, keepdims=keepdims)
+
+
+def std(a: Tensor, axis=None, keepdims: bool = False, eps: float = 1e-12) -> Tensor:
+    """Standard deviation with a small epsilon for gradient stability."""
+    return sqrt(var(a, axis=axis, keepdims=keepdims) + eps)
+
+
+def log1p(a: Tensor) -> Tensor:
+    """``log(1 + a)`` computed stably."""
+    a = _t(a)
+    out_data = np.log1p(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad / (1.0 + a.data))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def softplus(a: Tensor) -> Tensor:
+    """``log(1 + exp(a))`` with the overflow-safe formulation."""
+    a = _t(a)
+    out_data = np.logaddexp(0.0, a.data)
+    with np.errstate(over="ignore"):
+        sig = 1.0 / (1.0 + np.exp(-a.data))
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * sig)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise select by a constant boolean mask."""
+    a, b = _t(a), _t(b)
+    condition = np.asarray(condition, dtype=bool)
+    out_data = np.where(condition, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(unbroadcast(grad * condition, a.shape))
+        b._accumulate(unbroadcast(grad * ~condition, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)

@@ -1,0 +1,161 @@
+"""Tests for the heterophily baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BASELINE_NAMES,
+    baseline_names,
+    build_baseline,
+    cosine_knn_adjacency,
+    homophily_weighted_matrix,
+    latent_positions,
+    propagate_labels,
+    relation_matrices,
+)
+from repro.datasets import planted_partition_graph
+from repro.gnn import train_backbone
+from repro.graph import random_split
+from repro.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = planted_partition_graph(
+        num_nodes=50, num_classes=3, homophily=0.3,
+        feature_signal=0.5, num_features=48, seed=0,
+    )
+    split = random_split(graph.labels, np.random.default_rng(0))
+    return graph, split
+
+
+# ---------------------------------------------------------------------------
+# kNN graph
+# ---------------------------------------------------------------------------
+def test_knn_adjacency_symmetric_no_selfloops(setup):
+    graph, _ = setup
+    adj = cosine_knn_adjacency(graph.features, k=4)
+    dense = adj.toarray()
+    np.testing.assert_allclose(dense, dense.T)
+    np.testing.assert_allclose(np.diag(dense), 0)
+
+
+def test_knn_adjacency_min_degree(setup):
+    graph, _ = setup
+    adj = cosine_knn_adjacency(graph.features, k=4)
+    deg = np.asarray(adj.sum(axis=1)).ravel()
+    assert (deg >= 4).all()  # symmetrisation can only add edges
+
+
+def test_knn_adjacency_prefers_same_class(setup):
+    graph, _ = setup
+    adj = cosine_knn_adjacency(graph.features, k=4).tocoo()
+    same = graph.labels[adj.row] == graph.labels[adj.col]
+    base = max(np.bincount(graph.labels)) / graph.num_nodes
+    assert same.mean() > base
+
+
+def test_knn_invalid_k(setup):
+    graph, _ = setup
+    with pytest.raises(ValueError):
+        cosine_knn_adjacency(graph.features, k=0)
+
+
+# ---------------------------------------------------------------------------
+# Geom-GCN pieces
+# ---------------------------------------------------------------------------
+def test_latent_positions_shape(setup):
+    graph, _ = setup
+    pos = latent_positions(graph.features)
+    assert pos.shape == (graph.num_nodes, 2)
+
+
+def test_relation_matrices_partition_edges(setup):
+    graph, _ = setup
+    mats = relation_matrices(graph)
+    assert len(mats) == 4
+    total = sum(int(m.nnz) for m in mats)
+    assert total == 2 * graph.num_edges  # both directions, exactly once
+
+
+# ---------------------------------------------------------------------------
+# HOG-GCN pieces
+# ---------------------------------------------------------------------------
+def test_propagate_labels_rows_normalised(setup):
+    graph, split = setup
+    soft = propagate_labels(graph, split.train)
+    np.testing.assert_allclose(soft.sum(axis=1), np.ones(graph.num_nodes), atol=1e-8)
+    # Labelled nodes stay one-hot.
+    train_soft = soft[split.train]
+    assert (train_soft.max(axis=1) == 1.0).all()
+
+
+def test_homophily_matrix_row_normalised(setup):
+    graph, split = setup
+    mat = homophily_weighted_matrix(graph, split.train)
+    sums = np.asarray(mat.sum(axis=1)).ravel()
+    nz = sums > 0
+    np.testing.assert_allclose(sums[nz], 1.0, atol=1e-8)
+
+
+# ---------------------------------------------------------------------------
+# Registry + forward passes
+# ---------------------------------------------------------------------------
+def test_baseline_names_cover_table3():
+    names = baseline_names()
+    assert len(names) == 13
+    assert names[0] == "mlp"
+
+
+@pytest.mark.parametrize("name", BASELINE_NAMES + ["mi_gcn", "nl_gnn", "gpnn"])
+def test_baseline_forward_shape(setup, name):
+    graph, split = setup
+    model = build_baseline(name, graph, split, hidden=16,
+                           rng=np.random.default_rng(0))
+    model.eval()
+    out = model(graph, Tensor(graph.features))
+    assert out.shape == (graph.num_nodes, graph.num_classes)
+
+
+@pytest.mark.parametrize("name", BASELINE_NAMES + ["mi_gcn", "nl_gnn", "gpnn"])
+def test_baseline_parameters_receive_gradients(setup, name):
+    graph, split = setup
+    model = build_baseline(name, graph, split, hidden=16,
+                           rng=np.random.default_rng(0))
+    model.eval()
+    out = model(graph, Tensor(graph.features))
+    out.sum().backward()
+    grads = [p.grad is not None for _, p in model.named_parameters()]
+    assert any(grads)
+
+
+def test_hog_gcn_requires_split(setup):
+    graph, _ = setup
+    with pytest.raises(ValueError, match="split"):
+        build_baseline("hog_gcn", graph)
+
+
+def test_unknown_baseline(setup):
+    graph, split = setup
+    with pytest.raises(ValueError, match="unknown baseline"):
+        build_baseline("gpt", graph, split)
+
+
+def test_simp_gcn_trains(setup):
+    graph, split = setup
+    model = build_baseline("simp_gcn", graph, split, hidden=32,
+                           rng=np.random.default_rng(0))
+    result = train_backbone(model, graph, split, epochs=40)
+    assert result.test_acc > 0.4
+
+
+def test_mi_gcn_rewiring_cached(setup):
+    graph, split = setup
+    model = build_baseline("mi_gcn", graph, split, hidden=16,
+                           rng=np.random.default_rng(0))
+    model.eval()
+    model(graph, Tensor(graph.features))
+    keys = [k for k in graph.cache if k.startswith("migcn_rewired")]
+    assert keys
+    rewired = graph.cache[keys[0]]
+    assert rewired.edges != graph.edges

@@ -1,0 +1,133 @@
+"""Tests for the benchmark harness (formatting, viz, scaled configs)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BENCH_SCALES,
+    ascii_curve,
+    ascii_heatmap,
+    bench_dataset,
+    bench_graph,
+    bench_rare_config,
+    format_table,
+    paper_values,
+    paper_vs_measured_row,
+    run_baseline_method,
+    save_results,
+)
+
+
+# ---------------------------------------------------------------------------
+# Formatting
+# ---------------------------------------------------------------------------
+def test_format_table_alignment():
+    out = format_table("T", ["a", "bb"], [["1", "2"], ["333", "4"]])
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "333" in out
+    # Column separator keeps cells aligned (header row vs second data row).
+    assert lines[2].index("bb") == lines[5].index("4")
+
+
+def test_paper_vs_measured_row():
+    row = paper_vs_measured_row("gcn", 59.08, 42.3, "ok")
+    assert row == ["gcn", "59.1", "42.3", "ok"]
+    assert paper_vs_measured_row("x", None, 1.0)[1] == "-"
+
+
+def test_save_results_roundtrip(tmp_path, monkeypatch):
+    import repro.bench.harness as harness
+
+    monkeypatch.setattr(harness, "RESULTS_DIR", str(tmp_path))
+    path = save_results("unit", {"x": 1.5})
+    import json
+
+    assert json.load(open(path)) == {"x": 1.5}
+
+
+# ---------------------------------------------------------------------------
+# Viz
+# ---------------------------------------------------------------------------
+def test_ascii_heatmap_renders():
+    out = ascii_heatmap(np.array([[0.0, 1.0], [0.5, 0.25]]),
+                        row_labels=["r0", "r1"], col_labels=["c0", "c1"],
+                        title="demo")
+    assert "demo" in out
+    assert "scale" in out
+    assert "r0" in out
+
+
+def test_ascii_heatmap_constant_matrix():
+    out = ascii_heatmap(np.zeros((2, 2)))
+    assert "0.000" in out
+
+
+def test_ascii_curve_renders():
+    out = ascii_curve([0.1, 0.5, 0.9, 0.7], title="curve")
+    assert "curve" in out
+    assert "*" in out
+
+
+def test_ascii_curve_empty():
+    assert "(no data)" in ascii_curve([], title="e")
+
+
+# ---------------------------------------------------------------------------
+# Scaled configs
+# ---------------------------------------------------------------------------
+def test_bench_scales_cover_all_datasets():
+    assert set(BENCH_SCALES) == set(paper_values.DATASETS)
+
+
+def test_bench_graph_is_small():
+    g = bench_graph("cornell")
+    assert g.num_nodes < 300
+
+
+def test_bench_dataset_returns_splits():
+    graph, splits = bench_dataset("texas")
+    assert len(splits) == 3
+    for s in splits:
+        assert len(s.train) + len(s.val) + len(s.test) == graph.num_nodes
+
+
+def test_bench_rare_config_density_aware():
+    dense = bench_rare_config("chameleon")
+    sparse = bench_rare_config("cornell")
+    assert dense.k_max > sparse.k_max
+    assert dense.d_max > sparse.d_max
+
+
+def test_bench_rare_config_overrides():
+    cfg = bench_rare_config("cornell", episodes=9, lam=0.5)
+    assert cfg.episodes == 9
+    assert cfg.lam == 0.5
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+def test_run_baseline_method_aggregates():
+    graph, splits = bench_dataset("texas")
+    res = run_baseline_method("mlp", graph, splits[:2], epochs=15, patience=5)
+    assert len(res.runs) == 2
+    assert res.mean == pytest.approx(np.mean(res.runs))
+    assert "±" in res.cell()
+
+
+# ---------------------------------------------------------------------------
+# Paper values sanity
+# ---------------------------------------------------------------------------
+def test_table3_rows_have_seven_columns():
+    for method, row in paper_values.TABLE3.items():
+        assert len(row) == 7, method
+
+
+def test_table4_lambda_keys():
+    assert set(paper_values.TABLE4_GCN_RARE) == {0.1, 0.5, 1.0, 10.0}
+
+
+def test_table6_rows_have_five_columns():
+    for method, row in paper_values.TABLE6.items():
+        assert len(row) == 5, method

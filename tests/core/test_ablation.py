@@ -1,0 +1,74 @@
+"""Tests for the Table V / Fig. 5 ablation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import RareConfig, fixed_kd, fixed_kd_grid, random_kd
+from repro.datasets import planted_partition_graph
+from repro.entropy import RelativeEntropy, build_entropy_sequences
+from repro.graph import random_split
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = planted_partition_graph(
+        num_nodes=50, num_classes=3, homophily=0.25,
+        feature_signal=0.5, num_features=48, seed=0,
+    )
+    split = random_split(graph.labels, np.random.default_rng(0))
+    config = RareConfig(
+        max_candidates=8, final_epochs=30, final_patience=8, seed=0
+    )
+    entropy = RelativeEntropy.from_graph(graph, lam=1.0)
+    sequences = build_entropy_sequences(graph, entropy, max_candidates=8)
+    return graph, split, config, sequences
+
+
+def test_fixed_kd_returns_accuracy(setup):
+    graph, split, config, seqs = setup
+    acc = fixed_kd(graph, split, "gcn", k=2, d=1, config=config, sequences=seqs)
+    assert 0.0 <= acc <= 1.0
+
+
+def test_fixed_kd_zero_zero_equals_plain_backbone(setup):
+    graph, split, config, seqs = setup
+    acc = fixed_kd(graph, split, "gcn", k=0, d=0, config=config, sequences=seqs)
+    from repro.gnn import Trainer, build_backbone
+
+    model = build_backbone(
+        "gcn", graph.num_features, graph.num_classes,
+        hidden=config.hidden, dropout=config.dropout,
+        rng=np.random.default_rng(config.seed),
+    )
+    plain = Trainer(model, lr=config.gnn_lr, weight_decay=config.gnn_weight_decay).fit(
+        graph, split, epochs=config.final_epochs, patience=config.final_patience
+    ).test_acc
+    assert acc == pytest.approx(plain)
+
+
+def test_random_kd_returns_accuracy(setup):
+    graph, split, config, seqs = setup
+    acc = random_kd(graph, split, "gcn", max_value=3, config=config, sequences=seqs)
+    assert 0.0 <= acc <= 1.0
+
+
+def test_random_kd_deterministic_given_seed(setup):
+    graph, split, config, seqs = setup
+    a = random_kd(graph, split, "gcn", max_value=3, config=config, sequences=seqs)
+    b = random_kd(graph, split, "gcn", max_value=3, config=config, sequences=seqs)
+    assert a == pytest.approx(b)
+
+
+def test_fixed_kd_grid_shape(setup):
+    graph, split, config, _ = setup
+    grid = fixed_kd_grid(
+        graph, split, "gcn", k_values=(0, 2), d_values=(0, 1), config=config
+    )
+    assert grid.shape == (2, 2)
+    assert ((grid >= 0) & (grid <= 1)).all()
+
+
+def test_default_configs_constructed_when_omitted(setup):
+    graph, split, _, _ = setup
+    acc = fixed_kd(graph, split, "gcn", k=1, d=0)
+    assert 0.0 <= acc <= 1.0

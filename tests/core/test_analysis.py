@@ -1,0 +1,86 @@
+"""Tests for the rewiring-analysis diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core import analyze_rewiring, degree_change_report
+from repro.graph import Graph
+
+
+def original():
+    # 0,1 class 0; 2,3 class 1.  Edges: one intra (0,1), one cross (1,2).
+    return Graph(
+        4, [(0, 1), (1, 2)],
+        features=np.eye(4), labels=np.array([0, 0, 1, 1]),
+    )
+
+
+def test_analysis_counts_edits():
+    g = original()
+    optimized = g.add_edges([(2, 3)]).remove_edges([(1, 2)])
+    a = analyze_rewiring(g, optimized)
+    assert a.num_added == 1
+    assert a.num_removed == 1
+    assert a.edit_distance == 2
+
+
+def test_analysis_class_alignment():
+    g = original()
+    optimized = g.add_edges([(2, 3)]).remove_edges([(1, 2)])
+    a = analyze_rewiring(g, optimized)
+    assert a.added_same_class_frac == 1.0    # (2,3) same class
+    assert a.removed_cross_class_frac == 1.0  # (1,2) cross class
+
+
+def test_analysis_homophily_gain():
+    g = original()
+    optimized = g.add_edges([(2, 3)]).remove_edges([(1, 2)])
+    a = analyze_rewiring(g, optimized)
+    assert a.original_homophily == pytest.approx(0.5)
+    assert a.optimized_homophily == pytest.approx(1.0)
+    assert a.homophily_gain == pytest.approx(0.5)
+
+
+def test_analysis_per_node_histograms():
+    g = original()
+    optimized = g.add_edges([(0, 2), (0, 3)])
+    a = analyze_rewiring(g, optimized)
+    assert a.per_node_added[0] == 2
+    assert a.per_node_added[2] == 1
+    assert a.per_node_removed.sum() == 0
+
+
+def test_analysis_identity():
+    g = original()
+    a = analyze_rewiring(g, g)
+    assert a.edit_distance == 0
+    assert a.added_same_class_frac == 0.0
+    assert a.removed_cross_class_frac == 0.0
+
+
+def test_analysis_requires_labels():
+    g = Graph(2, [(0, 1)])
+    with pytest.raises(ValueError, match="labels"):
+        analyze_rewiring(g, g)
+
+
+def test_analysis_node_count_mismatch():
+    with pytest.raises(ValueError, match="node counts"):
+        analyze_rewiring(original(), Graph(3, [], labels=np.zeros(3, int)))
+
+
+def test_summary_text():
+    g = original()
+    a = analyze_rewiring(g, g.add_edges([(2, 3)]))
+    text = a.summary()
+    assert "edges added" in text
+    assert "homophily" in text
+
+
+def test_degree_change_report():
+    g = original()
+    optimized = g.add_edges([(0, 3)])
+    report = degree_change_report(g, optimized)
+    assert report["mean_degree_after"] > report["mean_degree_before"]
+    assert report["isolated_before"] == 1  # node 3 was isolated
+    assert report["isolated_after"] == 0

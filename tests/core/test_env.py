@@ -1,0 +1,147 @@
+"""Tests for the topology-optimisation MDP environment."""
+
+import numpy as np
+import pytest
+
+from repro.core import OBS_DIM, RareConfig, TopologyEnv, build_observation
+from repro.datasets import planted_partition_graph
+from repro.entropy import RelativeEntropy, build_entropy_sequences
+from repro.gnn import Trainer, build_backbone
+from repro.graph import random_split
+
+
+def make_env(co_train=False, **config_overrides):
+    graph = planted_partition_graph(
+        num_nodes=40, homophily=0.3, feature_signal=0.4, num_features=32, seed=0
+    )
+    split = random_split(graph.labels, np.random.default_rng(0))
+    entropy = RelativeEntropy.from_graph(graph, lam=1.0)
+    sequences = build_entropy_sequences(graph, entropy, max_candidates=8)
+    config = RareConfig(
+        k_max=4, d_max=4, max_candidates=8, horizon=4, **config_overrides
+    )
+    model = build_backbone(
+        "gcn", graph.num_features, graph.num_classes,
+        hidden=16, rng=np.random.default_rng(0),
+    )
+    trainer = Trainer(model, lr=0.05)
+    env = TopologyEnv(graph, sequences, model, trainer, split, config,
+                      co_train=co_train)
+    return env, graph
+
+
+def test_reset_state_is_zero():
+    env, graph = make_env()
+    obs = env.reset()
+    assert obs.shape == (graph.num_nodes, OBS_DIM)
+    assert (env.k == 0).all()
+    assert (env.d == 0).all()
+    assert env.current_graph is graph
+
+
+def test_action_space_layout():
+    env, graph = make_env()
+    assert env.action_space.num_components == 2 * graph.num_nodes
+    assert (env.action_space.nvec == 3).all()
+
+
+def test_step_applies_transition():
+    env, graph = make_env()
+    env.reset()
+    n = graph.num_nodes
+    action = np.full(2 * n, 2)  # increment everything
+    obs, reward, done, info = env.step(action)
+    assert (env.k == 1).all()
+    # d is clamped by node degree (isolated nodes cannot delete).
+    assert (env.d <= np.minimum(1, graph.degrees())).all()
+    assert not done
+    assert np.isfinite(reward)
+    assert env.current_graph.edges != graph.edges
+
+
+def test_keep_action_is_noop():
+    env, graph = make_env()
+    env.reset()
+    action = np.ones(2 * graph.num_nodes, dtype=int)  # all "keep"
+    _, _, _, info = env.step(action)
+    assert env.current_graph.edges == graph.edges
+    assert info["mean_k"] == 0.0
+
+
+def test_state_clamped_at_bounds():
+    env, graph = make_env()
+    env.reset()
+    n = graph.num_nodes
+    for _ in range(10):
+        env.step(np.full(2 * n, 2))
+    assert (env.k <= env.config.k_max).all()
+    assert (env.d <= env.config.d_max).all()
+    env.reset()
+    for _ in range(3):
+        env.step(np.zeros(2 * n, dtype=int))
+    assert (env.k == 0).all()
+
+
+def test_done_after_horizon():
+    env, graph = make_env()
+    env.reset()
+    n = graph.num_nodes
+    for t in range(env.config.horizon):
+        _, _, done, _ = env.step(np.ones(2 * n, dtype=int))
+    assert done
+
+
+def test_invalid_action_shape():
+    env, _ = make_env()
+    env.reset()
+    with pytest.raises(ValueError, match="action"):
+        env.step(np.zeros(3, dtype=int))
+
+
+def test_reward_is_delta_metric():
+    env, graph = make_env()
+    env.reset()
+    n = graph.num_nodes
+    prev_score, prev_loss = env.prev_score, env.prev_loss
+    _, reward, _, info = env.step(np.ones(2 * n, dtype=int))
+    expected = (info["train_score"] - prev_score) + env.config.lambda_r * (
+        prev_loss - info["train_loss"]
+    )
+    assert reward == pytest.approx(expected)
+
+
+def test_auc_reward_variant():
+    env, graph = make_env(reward="auc")
+    env.reset()
+    score, loss = env._metrics(graph)
+    assert 0.0 <= score <= 1.0
+
+
+def test_co_training_tracks_best_graph():
+    env, graph = make_env(co_train=True)
+    env.reset()
+    n = graph.num_nodes
+    rng = np.random.default_rng(0)
+    for _ in range(4):
+        env.step(rng.integers(0, 3, 2 * n))
+    assert env.best_acc > 0.0
+    assert env.best_graph is not None
+
+
+def test_history_recorded():
+    env, graph = make_env()
+    env.reset()
+    env.step(np.ones(2 * graph.num_nodes, dtype=int))
+    assert len(env.history) == 1
+    assert {"reward", "homophily", "num_edges"} <= set(env.history[0])
+
+
+def test_build_observation_ranges():
+    env, graph = make_env()
+    entropy_cols = build_observation(
+        env.k, env.d, graph, env.sequences, env.config
+    )
+    assert entropy_cols.shape == (graph.num_nodes, OBS_DIM)
+    assert np.isfinite(entropy_cols).all()
+    assert (entropy_cols[:, 0] == 0).all()  # k column at reset
+    assert (entropy_cols[:, 2] <= 1.0).all()  # normalised degree

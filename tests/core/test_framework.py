@@ -1,0 +1,123 @@
+"""End-to-end tests for the GraphRARE framework (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GraphRARE, RareConfig
+from repro.datasets import planted_partition_graph
+from repro.graph import random_split
+
+
+def tiny_config(**overrides):
+    base = dict(
+        k_max=3,
+        d_max=3,
+        max_candidates=8,
+        episodes=2,
+        horizon=3,
+        co_train_epochs=4,
+        co_train_patience=3,
+        final_epochs=40,
+        final_patience=10,
+        seed=0,
+    )
+    base.update(overrides)
+    return RareConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def heterophilic():
+    graph = planted_partition_graph(
+        num_nodes=60, num_classes=3, homophily=0.2,
+        feature_signal=0.5, num_features=48, mean_degree=4.0, seed=0,
+    )
+    split = random_split(graph.labels, np.random.default_rng(0))
+    return graph, split
+
+
+@pytest.fixture(scope="module")
+def rare_result(heterophilic):
+    graph, split = heterophilic
+    rare = GraphRARE("gcn", tiny_config())
+    return rare.fit(graph, split)
+
+
+def test_result_fields_populated(rare_result):
+    assert 0.0 <= rare_result.test_acc <= 1.0
+    assert 0.0 <= rare_result.baseline_test_acc <= 1.0
+    assert rare_result.entropy_seconds > 0
+    assert len(rare_result.accuracy_curve) == 2
+    assert len(rare_result.homophily_curve) == 2
+    assert len(rare_result.episode_rewards) == 2
+
+
+def test_improvement_property(rare_result):
+    assert rare_result.improvement == pytest.approx(
+        rare_result.test_acc - rare_result.baseline_test_acc
+    )
+
+
+def test_optimized_graph_differs_from_original(heterophilic, rare_result):
+    graph, _ = heterophilic
+    assert rare_result.optimized_graph.edges != graph.edges
+
+
+def test_rare_improves_heterophilic_homophily(heterophilic, rare_result):
+    """The Fig. 7 claim: rewiring raises the homophily ratio."""
+    assert rare_result.optimized_homophily > rare_result.original_homophily
+
+
+def test_rare_beats_or_matches_backbone(heterophilic, rare_result):
+    """The Table III claim, on an easy synthetic instance."""
+    assert rare_result.test_acc >= rare_result.baseline_test_acc - 0.05
+
+
+def test_shuffle_sequences_ablation_runs(heterophilic):
+    graph, split = heterophilic
+    rare = GraphRARE("gcn", tiny_config(episodes=1))
+    result = rare.fit(graph, split, shuffle_sequences=True, train_baseline=False)
+    assert 0.0 <= result.test_acc <= 1.0
+    assert np.isnan(result.baseline_test_acc)
+
+
+def test_precomputed_sequences_reused(heterophilic):
+    graph, split = heterophilic
+    from repro.entropy import RelativeEntropy, build_entropy_sequences
+
+    entropy = RelativeEntropy.from_graph(graph, lam=1.0)
+    seqs = build_entropy_sequences(graph, entropy, max_candidates=8)
+    rare = GraphRARE("gcn", tiny_config(episodes=1))
+    result = rare.fit(graph, split, sequences=seqs, train_baseline=False)
+    assert result.entropy_seconds == 0.0
+
+
+def test_other_backbones_run(heterophilic):
+    graph, split = heterophilic
+    for backbone in ("graphsage", "h2gcn"):
+        rare = GraphRARE(backbone, tiny_config(episodes=1, horizon=2))
+        result = rare.fit(graph, split, train_baseline=False)
+        assert 0.0 <= result.test_acc <= 1.0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        RareConfig(lam=-1.0)
+    with pytest.raises(ValueError):
+        RareConfig(k_max=100, max_candidates=10)
+    with pytest.raises(ValueError):
+        RareConfig(reward="f1")
+    with pytest.raises(ValueError):
+        RareConfig(add_edges=False, remove_edges=False)
+    with pytest.raises(ValueError):
+        RareConfig(horizon=0)
+
+
+def test_add_only_and_remove_only_configs(heterophilic):
+    graph, split = heterophilic
+    for flags in ({"remove_edges": False}, {"add_edges": False}):
+        rare = GraphRARE("gcn", tiny_config(episodes=1, horizon=2, **flags))
+        result = rare.fit(graph, split, train_baseline=False)
+        if flags.get("remove_edges") is False:
+            assert graph.edges <= result.optimized_graph.edges
+        else:
+            assert result.optimized_graph.edges <= graph.edges

@@ -1,0 +1,87 @@
+"""Hypothesis property tests on the rewiring invariants from DESIGN.md."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import clamp_state, rewire_graph
+from repro.datasets import planted_partition_graph
+from repro.entropy import RelativeEntropy, build_entropy_sequences
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = planted_partition_graph(num_nodes=30, homophily=0.4, seed=0)
+    entropy = RelativeEntropy.from_graph(graph, lam=1.0)
+    sequences = build_entropy_sequences(graph, entropy, max_candidates=6)
+    return graph, sequences
+
+
+count_arrays = st.lists(st.integers(min_value=0, max_value=6), min_size=30, max_size=30)
+
+
+@settings(max_examples=30, deadline=None)
+@given(count_arrays, count_arrays)
+def test_rewired_graph_stays_valid(setup, ks, ds):
+    """Symmetry, no self-loops, shared attributes — for any (k, d)."""
+    graph, seqs = setup
+    k, d = clamp_state(np.array(ks), np.array(ds), graph, seqs, 6, 6)
+    out = rewire_graph(graph, seqs, k, d)
+    adj = out.adjacency().toarray()
+    assert np.allclose(adj, adj.T)
+    assert np.allclose(np.diag(adj), 0)
+    assert out.features is graph.features
+    assert out.num_nodes == graph.num_nodes
+
+
+@settings(max_examples=30, deadline=None)
+@given(count_arrays)
+def test_add_only_is_monotone(setup, ks):
+    """With deletions off, every original edge survives."""
+    graph, seqs = setup
+    k, d = clamp_state(np.array(ks), np.zeros(30, int), graph, seqs, 6, 6)
+    out = rewire_graph(graph, seqs, k, d, remove_edges=False)
+    assert graph.edges <= out.edges
+
+
+@settings(max_examples=30, deadline=None)
+@given(count_arrays)
+def test_remove_only_is_antitone(setup, ds):
+    """With additions off, no new edge appears."""
+    graph, seqs = setup
+    k, d = clamp_state(np.zeros(30, int), np.array(ds), graph, seqs, 6, 6)
+    out = rewire_graph(graph, seqs, k, d, add_edges=False)
+    assert out.edges <= graph.edges
+
+
+@settings(max_examples=30, deadline=None)
+@given(count_arrays, count_arrays)
+def test_rewire_is_deterministic(setup, ks, ds):
+    graph, seqs = setup
+    k, d = clamp_state(np.array(ks), np.array(ds), graph, seqs, 6, 6)
+    a = rewire_graph(graph, seqs, k, d)
+    b = rewire_graph(graph, seqs, k, d)
+    assert a.edges == b.edges
+
+
+@settings(max_examples=30, deadline=None)
+@given(count_arrays, count_arrays)
+def test_clamp_state_idempotent(setup, ks, ds):
+    graph, seqs = setup
+    k1, d1 = clamp_state(np.array(ks), np.array(ds), graph, seqs, 6, 6)
+    k2, d2 = clamp_state(k1, d1, graph, seqs, 6, 6)
+    np.testing.assert_array_equal(k1, k2)
+    np.testing.assert_array_equal(d1, d2)
+
+
+@settings(max_examples=20, deadline=None)
+@given(count_arrays)
+def test_monotone_k_grows_edge_set(setup, ks):
+    """Increasing every k_v can only extend the added edge set."""
+    graph, seqs = setup
+    k, _ = clamp_state(np.array(ks), np.zeros(30, int), graph, seqs, 5, 5)
+    bigger, _ = clamp_state(k + 1, np.zeros(30, int), graph, seqs, 6, 6)
+    small = rewire_graph(graph, seqs, k, np.zeros(30, int), remove_edges=False)
+    large = rewire_graph(graph, seqs, bigger, np.zeros(30, int), remove_edges=False)
+    assert small.edges <= large.edges

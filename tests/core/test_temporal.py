@@ -1,0 +1,90 @@
+"""Tests for the spatio-temporal GraphRARE extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import RareConfig, TemporalGraphRARE, drifting_snapshots
+from repro.datasets.synthetic import DatasetSpec
+from repro.graph import homophily_ratio, random_split
+
+
+def spec():
+    return DatasetSpec(
+        name="temporal_toy",
+        num_nodes=50,
+        num_edges=150,
+        num_features=48,
+        num_classes=3,
+        homophily=0.25,
+        feature_signal=0.4,
+    )
+
+
+@pytest.fixture(scope="module")
+def snapshots():
+    return drifting_snapshots(spec(), num_snapshots=3, drift=0.3, seed=0)
+
+
+def test_snapshots_share_nodes_features_labels(snapshots):
+    base = snapshots[0]
+    for snap in snapshots[1:]:
+        assert snap.num_nodes == base.num_nodes
+        assert snap.features is base.features
+        assert snap.labels is base.labels
+
+
+def test_snapshots_drift_but_overlap(snapshots):
+    for a, b in zip(snapshots, snapshots[1:]):
+        overlap = len(a.edges & b.edges) / len(a.edges)
+        assert 0.3 < overlap < 1.0  # drifted, not replaced
+
+
+def test_snapshots_preserve_homophily(snapshots):
+    for snap in snapshots:
+        assert abs(homophily_ratio(snap) - 0.25) < 0.1
+
+
+def test_snapshots_edge_counts_stable(snapshots):
+    for snap in snapshots:
+        assert abs(snap.num_edges - 150) <= 15
+
+
+def test_drifting_snapshots_validation():
+    with pytest.raises(ValueError, match="drift"):
+        drifting_snapshots(spec(), drift=1.5)
+    with pytest.raises(ValueError, match="num_snapshots"):
+        drifting_snapshots(spec(), num_snapshots=0)
+
+
+def test_single_snapshot_is_base_graph():
+    snaps = drifting_snapshots(spec(), num_snapshots=1, seed=0)
+    assert len(snaps) == 1
+
+
+def test_temporal_rare_end_to_end(snapshots):
+    split = random_split(snapshots[0].labels, np.random.default_rng(0))
+    cfg = RareConfig(
+        k_max=3, d_max=3, max_candidates=8, episodes=1, horizon=3,
+        co_train_epochs=3, final_epochs=30, final_patience=8, seed=0,
+    )
+    result = TemporalGraphRARE("gcn", cfg).fit(snapshots, split)
+    assert 0.0 <= result.test_acc <= 1.0
+    assert 0.0 <= result.baseline_test_acc <= 1.0
+    assert len(result.per_snapshot) == 3
+    assert len(result.homophily_curve) == 3
+    # Only the final snapshot carries a baseline.
+    assert np.isnan(result.per_snapshot[0].baseline_test_acc)
+    assert not np.isnan(result.per_snapshot[-1].baseline_test_acc)
+
+
+def test_temporal_rare_validation(snapshots):
+    split = random_split(snapshots[0].labels, np.random.default_rng(0))
+    model = TemporalGraphRARE("gcn", RareConfig(episodes=1, horizon=2))
+    with pytest.raises(ValueError, match="at least one"):
+        model.fit([], split)
+
+    from repro.graph import Graph
+
+    mismatched = snapshots[:1] + [Graph(10, [], labels=np.zeros(10, int))]
+    with pytest.raises(ValueError, match="share the node set"):
+        model.fit(mismatched, split)

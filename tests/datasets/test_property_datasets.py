@@ -1,0 +1,60 @@
+"""Hypothesis property tests for the dataset generators."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import DatasetSpec, build_synthetic_graph, sample_edges
+from repro.graph import homophily_ratio
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    homophily=st.floats(min_value=0.05, max_value=0.95),
+    num_classes=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=10),
+)
+def test_generated_homophily_tracks_target(homophily, num_classes, seed):
+    spec = DatasetSpec(
+        name="prop",
+        num_nodes=150,
+        num_edges=600,
+        num_features=16,
+        num_classes=num_classes,
+        homophily=homophily,
+    )
+    graph = build_synthetic_graph(spec, seed=seed)
+    assert abs(homophily_ratio(graph) - homophily) < 0.1
+
+
+@settings(max_examples=15, deadline=None)
+@given(scale=st.floats(min_value=0.05, max_value=1.0))
+def test_scaled_spec_invariants(scale):
+    spec = DatasetSpec(
+        name="prop",
+        num_nodes=1000,
+        num_edges=5000,
+        num_features=100,
+        num_classes=4,
+        homophily=0.4,
+    )
+    small = spec.scaled(scale)
+    assert small.num_nodes >= 40
+    assert small.num_features >= 32
+    assert small.homophily == spec.homophily
+    assert small.num_classes == spec.num_classes
+    # Mean degree preserved within rounding.
+    if small.num_nodes > 40:
+        before = spec.num_edges / spec.num_nodes
+        after = small.num_edges / small.num_nodes
+        assert abs(before - after) < 1.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=50))
+def test_edges_always_canonical_and_in_range(seed):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 3, 80)
+    edges = sample_edges(labels, 200, 0.3, rng)
+    for u, v in edges:
+        assert 0 <= u < v < 80

@@ -1,0 +1,81 @@
+"""Tests for the Table II dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ALL_DATASETS,
+    HETEROPHILIC,
+    HOMOPHILIC,
+    SPECS,
+    dataset_names,
+    get_spec,
+    load_dataset,
+)
+from repro.graph import homophily_ratio
+
+# Table II of the paper.
+TABLE2 = {
+    "chameleon": (2277, 36101, 2325, 5, 0.23),
+    "squirrel": (5201, 217073, 2089, 5, 0.22),
+    "cornell": (183, 295, 1703, 5, 0.30),
+    "texas": (183, 309, 1703, 5, 0.11),
+    "wisconsin": (251, 499, 1703, 5, 0.21),
+    "cora": (2708, 5429, 1433, 7, 0.81),
+    "pubmed": (19717, 44338, 500, 3, 0.80),
+}
+
+
+def test_registry_matches_table2():
+    for name, (n, e, d, c, h) in TABLE2.items():
+        spec = SPECS[name]
+        assert spec.num_nodes == n
+        assert spec.num_edges == e
+        assert spec.num_features == d
+        assert spec.num_classes == c
+        assert spec.homophily == pytest.approx(h)
+
+
+def test_dataset_names_order():
+    assert dataset_names() == HETEROPHILIC + HOMOPHILIC
+    assert set(ALL_DATASETS) == set(TABLE2)
+
+
+def test_get_spec_unknown_raises():
+    with pytest.raises(ValueError, match="unknown dataset"):
+        get_spec("citeseer")
+
+
+def test_get_spec_case_insensitive():
+    assert get_spec("Cornell").name == "cornell"
+
+
+@pytest.mark.parametrize("name", ["cornell", "texas", "wisconsin"])
+def test_load_small_datasets_full_scale(name):
+    g = load_dataset(name, scale=1.0, seed=0)
+    n, e, d, c, h = TABLE2[name]
+    assert g.num_nodes == n
+    assert g.num_edges == e
+    assert g.num_features == d
+    assert abs(homophily_ratio(g) - h) < 0.08
+
+
+@pytest.mark.parametrize("name", ALL_DATASETS)
+def test_load_scaled_datasets_preserve_homophily(name):
+    g = load_dataset(name, scale=0.05, seed=0)
+    target = SPECS[name].homophily
+    assert abs(homophily_ratio(g) - target) < 0.12
+    assert g.num_nodes >= 40
+    assert (np.bincount(g.labels) >= 3).all()
+
+
+def test_load_dataset_deterministic():
+    a = load_dataset("cornell", scale=0.5, seed=1)
+    b = load_dataset("cornell", scale=0.5, seed=1)
+    assert a == b
+
+
+def test_chameleon_denser_than_webkb():
+    cham = get_spec("chameleon")
+    corn = get_spec("cornell")
+    assert cham.num_edges / cham.num_nodes > 5 * corn.num_edges / corn.num_nodes

@@ -1,0 +1,162 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DatasetSpec,
+    build_synthetic_graph,
+    generate_features,
+    generate_labels,
+    planted_partition_graph,
+    sample_edges,
+)
+from repro.graph import homophily_ratio
+
+
+def small_spec(**overrides):
+    base = dict(
+        name="toy",
+        num_nodes=300,
+        num_edges=1200,
+        num_features=64,
+        num_classes=4,
+        homophily=0.3,
+    )
+    base.update(overrides)
+    return DatasetSpec(**base)
+
+
+# ---------------------------------------------------------------------------
+# Labels
+# ---------------------------------------------------------------------------
+def test_labels_cover_all_classes():
+    labels = generate_labels(200, 5, np.random.default_rng(0))
+    assert set(np.unique(labels)) == set(range(5))
+
+
+def test_labels_min_three_per_class():
+    labels = generate_labels(40, 8, np.random.default_rng(3))
+    counts = np.bincount(labels, minlength=8)
+    assert (counts >= 3).all()
+
+
+def test_labels_deterministic():
+    a = generate_labels(100, 3, np.random.default_rng(5))
+    b = generate_labels(100, 3, np.random.default_rng(5))
+    np.testing.assert_array_equal(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Edges
+# ---------------------------------------------------------------------------
+def test_sample_edges_count_and_validity():
+    labels = generate_labels(200, 4, np.random.default_rng(0))
+    edges = sample_edges(labels, 800, 0.3, np.random.default_rng(0))
+    assert len(edges) == 800
+    for u, v in edges:
+        assert u < v
+        assert 0 <= u < 200 and 0 <= v < 200
+
+
+def test_sample_edges_hits_target_homophily():
+    labels = generate_labels(400, 4, np.random.default_rng(1))
+    for target in (0.1, 0.5, 0.9):
+        edges = sample_edges(labels, 2000, target, np.random.default_rng(2))
+        same = np.mean([labels[u] == labels[v] for u, v in edges])
+        assert abs(same - target) < 0.06, f"target {target}, got {same}"
+
+
+def test_sample_edges_invalid_homophily():
+    labels = np.array([0, 1, 0, 1])
+    with pytest.raises(ValueError):
+        sample_edges(labels, 2, 1.5, np.random.default_rng(0))
+
+
+def test_degree_sigma_controls_tail():
+    labels = generate_labels(500, 3, np.random.default_rng(0))
+    flat = sample_edges(labels, 2000, 0.5, np.random.default_rng(0), degree_sigma=0.1)
+    heavy = sample_edges(labels, 2000, 0.5, np.random.default_rng(0), degree_sigma=1.5)
+
+    def max_degree(edges):
+        deg = np.zeros(500)
+        for u, v in edges:
+            deg[u] += 1
+            deg[v] += 1
+        return deg.max()
+
+    assert max_degree(heavy) > max_degree(flat)
+
+
+# ---------------------------------------------------------------------------
+# Features
+# ---------------------------------------------------------------------------
+def test_features_binary_and_no_empty_rows():
+    labels = generate_labels(150, 3, np.random.default_rng(0))
+    X = generate_features(labels, 64, np.random.default_rng(0))
+    assert set(np.unique(X)) <= {0.0, 1.0}
+    assert (X.sum(axis=1) > 0).all()
+
+
+def test_features_class_signal():
+    # Same-class nodes must be more feature-similar than cross-class pairs.
+    labels = np.repeat([0, 1], 100)
+    X = generate_features(labels, 128, np.random.default_rng(0), signal=0.4)
+    mean0 = X[labels == 0].mean(axis=0)
+    mean1 = X[labels == 1].mean(axis=0)
+    within = mean0 @ mean0
+    across = mean0 @ mean1
+    assert within > 1.5 * across
+
+
+def test_feature_signal_zero_is_uninformative():
+    labels = np.repeat([0, 1], 200)
+    X = generate_features(labels, 64, np.random.default_rng(0), signal=0.0, noise=0.2)
+    mean0 = X[labels == 0].mean(axis=0)
+    mean1 = X[labels == 1].mean(axis=0)
+    assert np.abs(mean0 - mean1).max() < 0.15
+
+
+# ---------------------------------------------------------------------------
+# Full builds
+# ---------------------------------------------------------------------------
+def test_build_synthetic_graph_matches_spec():
+    spec = small_spec()
+    g = build_synthetic_graph(spec, seed=0)
+    assert g.num_nodes == spec.num_nodes
+    assert g.num_edges == spec.num_edges
+    assert g.num_features == spec.num_features
+    assert g.num_classes == spec.num_classes
+    assert abs(homophily_ratio(g) - spec.homophily) < 0.07
+
+
+def test_build_synthetic_graph_deterministic():
+    spec = small_spec()
+    assert build_synthetic_graph(spec, seed=3) == build_synthetic_graph(spec, seed=3)
+
+
+def test_build_synthetic_graph_seed_changes_graph():
+    spec = small_spec()
+    assert build_synthetic_graph(spec, seed=0) != build_synthetic_graph(spec, seed=1)
+
+
+def test_scaled_spec_preserves_mean_degree():
+    spec = small_spec(num_nodes=1000, num_edges=5000)
+    small = spec.scaled(0.2)
+    assert small.num_nodes == 200
+    assert abs(small.num_edges / small.num_nodes - 5.0) < 0.1
+
+
+def test_scaled_spec_bounds():
+    spec = small_spec()
+    with pytest.raises(ValueError):
+        spec.scaled(0.0)
+    with pytest.raises(ValueError):
+        spec.scaled(1.5)
+    assert spec.scaled(1.0) is spec
+
+
+def test_planted_partition_graph_strong_structure():
+    g = planted_partition_graph(num_nodes=90, homophily=0.85, seed=0)
+    assert homophily_ratio(g) > 0.7
+    assert g.num_classes == 3

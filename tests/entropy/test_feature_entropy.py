@@ -1,0 +1,95 @@
+"""Tests for node feature entropy (Eq. 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.entropy import (
+    embed_features,
+    entropy_from_logits,
+    feature_entropy_matrix,
+    feature_entropy_pairs,
+    log_pair_normalizer,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def test_embed_normalize_rows_unit_norm():
+    Z = embed_features(RNG.random((10, 5)), "normalize")
+    np.testing.assert_allclose(np.linalg.norm(Z, axis=1), np.ones(10))
+
+
+def test_embed_zero_row_survives():
+    X = np.zeros((3, 4))
+    X[0, 0] = 1.0
+    Z = embed_features(X, "normalize")
+    assert np.isfinite(Z).all()
+
+
+def test_embed_random_projection_shape_and_determinism():
+    X = RNG.random((8, 20))
+    a = embed_features(X, "random_projection", dim=6, rng=np.random.default_rng(1))
+    b = embed_features(X, "random_projection", dim=6, rng=np.random.default_rng(1))
+    assert a.shape == (8, 6)
+    np.testing.assert_allclose(a, b)
+
+
+def test_embed_callable():
+    X = RNG.random((4, 4))
+    Z = embed_features(X, lambda x: x * 2.0)
+    np.testing.assert_allclose(np.linalg.norm(Z, axis=1), np.ones(4))
+
+
+def test_embed_unknown_method_raises():
+    with pytest.raises(ValueError, match="unknown embedding"):
+        embed_features(np.ones((2, 2)), "pca")
+
+
+def test_log_pair_normalizer_matches_dense():
+    Z = embed_features(RNG.random((30, 6)))
+    dense = np.log(np.exp(Z @ Z.T).sum())
+    assert log_pair_normalizer(Z, chunk=7) == pytest.approx(dense)
+
+
+def test_entropy_monotone_in_dot_product():
+    # For P << 1/e, -P log P is increasing in the logit.
+    logits = np.linspace(-1.0, 1.0, 11)
+    h = entropy_from_logits(logits, log_denominator=10.0)
+    assert (np.diff(h) > 0).all()
+
+
+def test_feature_entropy_matrix_symmetric_nonnegative():
+    Z = embed_features(RNG.random((12, 4)))
+    H = feature_entropy_matrix(Z)
+    np.testing.assert_allclose(H, H.T)
+    assert (H >= 0).all()
+
+
+def test_similar_nodes_higher_entropy():
+    # Two near-identical rows should score higher than orthogonal rows.
+    X = np.array(
+        [
+            [1.0, 0.0, 0.0],
+            [0.99, 0.01, 0.0],
+            [0.0, 1.0, 0.0],
+        ]
+    )
+    H = feature_entropy_matrix(embed_features(X))
+    assert H[0, 1] > H[0, 2]
+
+
+def test_feature_entropy_pairs_matches_matrix():
+    Z = embed_features(RNG.random((15, 5)))
+    H = feature_entropy_matrix(Z)
+    pairs = np.array([[0, 1], [3, 7], [14, 2]])
+    vals = feature_entropy_pairs(Z, pairs)
+    np.testing.assert_allclose(vals, H[pairs[:, 0], pairs[:, 1]])
+
+
+def test_pairs_accepts_precomputed_denominator():
+    Z = embed_features(RNG.random((10, 3)))
+    denom = log_pair_normalizer(Z)
+    pairs = np.array([[0, 1]])
+    a = feature_entropy_pairs(Z, pairs, denom)
+    b = feature_entropy_pairs(Z, pairs)
+    np.testing.assert_allclose(a, b)

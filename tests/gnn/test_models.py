@@ -1,0 +1,135 @@
+"""Shape/behaviour tests for every GNN backbone."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import planted_partition_graph
+from repro.gnn import BACKBONES, build_backbone
+from repro.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return planted_partition_graph(num_nodes=40, num_classes=3, seed=0)
+
+
+ALL_NAMES = sorted(BACKBONES)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_forward_shape(graph, name):
+    model = build_backbone(
+        name, graph.num_features, graph.num_classes,
+        hidden=16, rng=np.random.default_rng(0),
+    )
+    out = model(graph, Tensor(graph.features))
+    assert out.shape == (graph.num_nodes, graph.num_classes)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_gradients_reach_all_parameters(graph, name):
+    model = build_backbone(
+        name, graph.num_features, graph.num_classes,
+        hidden=16, rng=np.random.default_rng(0),
+    )
+    model.eval()  # dropout off: every parameter should receive gradient
+    out = model(graph, Tensor(graph.features))
+    out.sum().backward()
+    missing = [n for n, p in model.named_parameters() if p.grad is None]
+    assert not missing, f"parameters with no gradient: {missing}"
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_eval_mode_deterministic(graph, name):
+    model = build_backbone(
+        name, graph.num_features, graph.num_classes,
+        hidden=16, rng=np.random.default_rng(0),
+    )
+    model.eval()
+    a = model(graph, Tensor(graph.features)).data
+    b = model(graph, Tensor(graph.features)).data
+    np.testing.assert_allclose(a, b)
+
+
+def test_train_mode_dropout_varies(graph):
+    model = build_backbone(
+        "gcn", graph.num_features, graph.num_classes,
+        hidden=16, rng=np.random.default_rng(0),
+    )
+    model.train()
+    a = model(graph, Tensor(graph.features)).data
+    b = model(graph, Tensor(graph.features)).data
+    assert not np.allclose(a, b)
+
+
+def test_build_backbone_unknown():
+    with pytest.raises(ValueError, match="unknown backbone"):
+        build_backbone("transformer", 4, 2)
+
+
+def test_mlp_ignores_topology(graph):
+    model = build_backbone(
+        "mlp", graph.num_features, graph.num_classes,
+        hidden=16, rng=np.random.default_rng(0),
+    )
+    model.eval()
+    out1 = model(graph, Tensor(graph.features)).data
+    rewired = graph.with_edges([])  # drop all edges
+    out2 = model(rewired, Tensor(graph.features)).data
+    np.testing.assert_allclose(out1, out2)
+
+
+@pytest.mark.parametrize("name", ["gcn", "graphsage", "gat", "h2gcn", "mixhop"])
+def test_topology_changes_output(graph, name):
+    model = build_backbone(
+        name, graph.num_features, graph.num_classes,
+        hidden=16, rng=np.random.default_rng(0),
+    )
+    model.eval()
+    out1 = model(graph, Tensor(graph.features)).data
+    # Rewire: keep only half the edges.
+    edges = sorted(graph.edges)[: graph.num_edges // 2]
+    out2 = model(graph.with_edges(edges), Tensor(graph.features)).data
+    assert not np.allclose(out1, out2)
+
+
+def test_predict_logits_matches_eval_forward(graph):
+    model = build_backbone(
+        "gcn", graph.num_features, graph.num_classes,
+        hidden=16, rng=np.random.default_rng(0),
+    )
+    model.train()
+    logits = model.predict_logits(graph)
+    model.eval()
+    np.testing.assert_allclose(logits, model(graph, Tensor(graph.features)).data)
+    assert model.training is False
+
+
+def test_propagation_matrix_cached(graph):
+    model = build_backbone(
+        "gcn", graph.num_features, graph.num_classes,
+        hidden=16, rng=np.random.default_rng(0),
+    )
+    model.eval()
+    model(graph, Tensor(graph.features))
+    assert "gcn_norm" in graph.cache
+    cached = graph.cache["gcn_norm"]
+    model(graph, Tensor(graph.features))
+    assert graph.cache["gcn_norm"] is cached
+
+
+def test_gat_attention_normalised(graph):
+    from repro.gnn.models import GATLayer
+    from repro.tensor import ops
+
+    layer = GATLayer(graph.num_features, 8, heads=2, rng=np.random.default_rng(0))
+    out = layer(graph, Tensor(graph.features))
+    assert out.shape == (graph.num_nodes, 16)
+
+
+def test_h2gcn_final_width():
+    from repro.gnn.models import H2GCN
+
+    model = H2GCN(10, 3, hidden=8, rounds=2, rng=np.random.default_rng(0))
+    # 8 * (1 + 2 + 4) = 56 input features on the classifier.
+    assert model.classify.in_features == 56

@@ -1,0 +1,70 @@
+"""Tests for Trainer extensions: schedulers, label smoothing, reports."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import planted_partition_graph
+from repro.gnn import Trainer, build_backbone
+from repro.graph import random_split
+from repro.nn import CosineAnnealingLR, StepLR
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = planted_partition_graph(
+        num_nodes=60, num_classes=3, homophily=0.8,
+        feature_signal=0.5, num_features=48, seed=0,
+    )
+    split = random_split(graph.labels, np.random.default_rng(0))
+    return graph, split
+
+
+def make_model(seed=0):
+    return build_backbone("gcn", 48, 3, hidden=16, rng=np.random.default_rng(seed))
+
+
+def test_scheduler_decays_lr_during_fit(setup):
+    graph, split = setup
+    model = make_model()
+    trainer = Trainer(model, lr=0.05)
+    trainer.scheduler = StepLR(trainer.optimizer, step_size=5, gamma=0.5)
+    trainer.fit(graph, split, epochs=12, patience=20)
+    assert trainer.optimizer.lr < 0.05
+
+
+def test_cosine_scheduler_with_fit(setup):
+    graph, split = setup
+    model = make_model()
+    trainer = Trainer(model, lr=0.05)
+    trainer.scheduler = CosineAnnealingLR(trainer.optimizer, total_epochs=20)
+    result = trainer.fit(graph, split, epochs=20, patience=25)
+    assert 0.0 <= result.test_acc <= 1.0
+    assert trainer.optimizer.lr < 0.05
+
+
+def test_label_smoothing_trains(setup):
+    graph, split = setup
+    model = make_model()
+    trainer = Trainer(model, lr=0.05, label_smoothing=0.1)
+    result = trainer.fit(graph, split, epochs=60, patience=20)
+    assert result.test_acc > 0.6
+
+
+def test_label_smoothing_changes_loss(setup):
+    graph, split = setup
+    a = Trainer(make_model(), lr=0.05)
+    b = Trainer(make_model(), lr=0.05, label_smoothing=0.2)
+    loss_a = a.train_epoch(graph, split.train)
+    loss_b = b.train_epoch(graph, split.train)
+    assert loss_a != pytest.approx(loss_b)
+
+
+def test_report_after_training(setup):
+    graph, split = setup
+    model = make_model()
+    trainer = Trainer(model, lr=0.05)
+    trainer.fit(graph, split, epochs=60, patience=20)
+    report = trainer.report(graph, split.test)
+    assert report.accuracy > 0.6
+    assert len(report.precision) == graph.num_classes
+    assert 0.0 <= report.macro_f1 <= 1.0

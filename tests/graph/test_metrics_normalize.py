@@ -1,0 +1,98 @@
+"""Tests for homophily ratio, degree stats, and propagation matrices."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    class_distribution,
+    degree_statistics,
+    gcn_norm,
+    homophily_ratio,
+    row_norm,
+    two_hop_adjacency,
+)
+
+
+def labeled_path():
+    # 0-1-2-3 with labels [0, 0, 1, 1]: edges (0,1) same, (1,2) diff, (2,3) same.
+    return Graph(4, [(0, 1), (1, 2), (2, 3)], labels=np.array([0, 0, 1, 1]))
+
+
+def test_homophily_ratio_value():
+    assert homophily_ratio(labeled_path()) == pytest.approx(2 / 3)
+
+
+def test_homophily_ratio_extremes():
+    same = Graph(3, [(0, 1), (1, 2)], labels=np.zeros(3, dtype=int))
+    assert homophily_ratio(same) == 1.0
+    diff = Graph(2, [(0, 1)], labels=np.array([0, 1]))
+    assert homophily_ratio(diff) == 0.0
+
+
+def test_homophily_requires_labels():
+    with pytest.raises(ValueError):
+        homophily_ratio(Graph(2, [(0, 1)]))
+
+
+def test_homophily_empty_graph_returns_zero():
+    assert homophily_ratio(Graph(3, [], labels=np.zeros(3, dtype=int))) == 0.0
+
+
+def test_degree_statistics():
+    stats = degree_statistics(Graph(4, [(0, 1), (0, 2)]))
+    assert stats["max"] == 2
+    assert stats["min"] == 0
+    assert stats["isolated"] == 1
+    assert stats["mean"] == pytest.approx(1.0)
+
+
+def test_class_distribution():
+    g = Graph(4, [], labels=np.array([0, 0, 0, 1]))
+    np.testing.assert_allclose(class_distribution(g), [0.75, 0.25])
+
+
+def test_gcn_norm_with_self_loops_rows():
+    g = Graph(2, [(0, 1)])
+    mat = gcn_norm(g).toarray()
+    # A+I = [[1,1],[1,1]], D=2 -> all entries 0.5
+    np.testing.assert_allclose(mat, np.full((2, 2), 0.5))
+
+
+def test_gcn_norm_without_self_loops():
+    g = Graph(2, [(0, 1)])
+    mat = gcn_norm(g, add_self_loops=False).toarray()
+    np.testing.assert_allclose(mat, [[0, 1], [1, 0]])
+
+
+def test_gcn_norm_handles_isolated_nodes():
+    g = Graph(3, [(0, 1)])
+    mat = gcn_norm(g, add_self_loops=False).toarray()
+    np.testing.assert_allclose(mat[2], 0.0)
+
+
+def test_row_norm_rows_sum_to_one():
+    g = Graph(4, [(0, 1), (0, 2), (0, 3), (1, 2)])
+    mat = row_norm(g).toarray()
+    np.testing.assert_allclose(mat.sum(axis=1), np.ones(4))
+
+
+def test_row_norm_with_self_loops():
+    g = Graph(2, [(0, 1)])
+    mat = row_norm(g, add_self_loops=True).toarray()
+    np.testing.assert_allclose(mat, np.full((2, 2), 0.5))
+
+
+def test_two_hop_excludes_one_hop_and_self():
+    # Path 0-1-2-3: 2-hop pairs are (0,2) and (1,3).
+    g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+    two = two_hop_adjacency(g).toarray()
+    expected = np.zeros((4, 4))
+    expected[0, 2] = expected[2, 0] = 1
+    expected[1, 3] = expected[3, 1] = 1
+    np.testing.assert_allclose(two, expected)
+
+
+def test_two_hop_triangle_is_empty():
+    g = Graph(3, [(0, 1), (1, 2), (2, 0)])
+    assert two_hop_adjacency(g).nnz == 0

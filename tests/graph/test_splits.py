@@ -1,0 +1,78 @@
+"""Tests for the Geom-GCN split protocol."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, geom_gcn_splits, random_split
+
+
+def big_labels(n_per_class=50, classes=3):
+    return np.repeat(np.arange(classes), n_per_class)
+
+
+def test_split_partitions_all_nodes():
+    labels = big_labels()
+    s = random_split(labels, np.random.default_rng(0))
+    combined = np.sort(np.concatenate([s.train, s.val, s.test]))
+    np.testing.assert_array_equal(combined, np.arange(len(labels)))
+
+
+def test_split_fractions_per_class():
+    labels = big_labels(100, 2)
+    s = random_split(labels, np.random.default_rng(0))
+    for c in range(2):
+        members = np.flatnonzero(labels == c)
+        n_train = np.intersect1d(s.train, members).size
+        n_val = np.intersect1d(s.val, members).size
+        assert n_train == 60
+        assert n_val == 20
+
+
+def test_split_disjoint():
+    s = random_split(big_labels(), np.random.default_rng(1))
+    assert np.intersect1d(s.train, s.val).size == 0
+    assert np.intersect1d(s.train, s.test).size == 0
+    assert np.intersect1d(s.val, s.test).size == 0
+
+
+def test_split_tiny_class_keeps_all_sets_nonempty():
+    labels = np.array([0, 0, 0, 1, 1, 1])
+    s = random_split(labels, np.random.default_rng(0))
+    assert s.train.size >= 2
+    assert s.val.size >= 2
+    assert s.test.size >= 2
+
+
+def test_invalid_fractions_raise():
+    with pytest.raises(ValueError):
+        random_split(big_labels(), np.random.default_rng(0), 0.8, 0.3)
+
+
+def test_masks():
+    labels = big_labels(10, 2)
+    s = random_split(labels, np.random.default_rng(0))
+    train_mask, val_mask, test_mask = s.masks(len(labels))
+    assert train_mask.sum() == s.train.size
+    assert not (train_mask & val_mask).any()
+    assert (train_mask | val_mask | test_mask).all()
+
+
+def test_geom_gcn_splits_count_and_determinism():
+    g = Graph(60, [], labels=big_labels(20, 3))
+    a = geom_gcn_splits(g, num_splits=10, seed=7)
+    b = geom_gcn_splits(g, num_splits=10, seed=7)
+    assert len(a) == 10
+    for sa, sb in zip(a, b):
+        np.testing.assert_array_equal(sa.train, sb.train)
+
+
+def test_geom_gcn_splits_differ_across_seeds():
+    g = Graph(60, [], labels=big_labels(20, 3))
+    a = geom_gcn_splits(g, num_splits=1, seed=0)[0]
+    b = geom_gcn_splits(g, num_splits=1, seed=1)[0]
+    assert not np.array_equal(a.train, b.train)
+
+
+def test_geom_gcn_splits_require_labels():
+    with pytest.raises(ValueError):
+        geom_gcn_splits(Graph(3, []))

@@ -1,0 +1,140 @@
+"""Failure-injection and edge-case tests across the full pipeline.
+
+These cover degenerate inputs a downstream user will eventually feed the
+library: isolated nodes, near-empty graphs, saturated budgets, single-split
+tiny classes, and exhausted candidate pools.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GraphRARE, RareConfig, rewire_graph
+from repro.datasets import planted_partition_graph
+from repro.entropy import RelativeEntropy, build_entropy_sequences
+from repro.gnn import build_backbone, train_backbone
+from repro.graph import Graph, random_split
+
+
+def tiny_cfg(**kw):
+    base = dict(
+        k_max=3, d_max=3, max_candidates=6, episodes=1, horizon=2,
+        co_train_epochs=2, final_epochs=15, final_patience=5, seed=0,
+    )
+    base.update(kw)
+    return RareConfig(**base)
+
+
+def test_graph_with_isolated_nodes_trains():
+    rng = np.random.default_rng(0)
+    graph = Graph(
+        20,
+        [(0, 1), (1, 2), (3, 4)],  # nodes 5..19 isolated
+        features=rng.random((20, 8)),
+        labels=rng.integers(0, 2, 20),
+    )
+    split = random_split(graph.labels, rng)
+    model = build_backbone("gcn", 8, 2, hidden=8, rng=rng)
+    result = train_backbone(model, graph, split, epochs=10)
+    assert np.isfinite(result.test_acc)
+
+
+def test_rare_on_graph_with_isolated_nodes():
+    rng = np.random.default_rng(0)
+    graph = Graph(
+        24,
+        [(i, i + 1) for i in range(10)],
+        features=rng.random((24, 12)),
+        labels=np.array([0, 1] * 12),
+    )
+    split = random_split(graph.labels, rng)
+    result = GraphRARE("gcn", tiny_cfg()).fit(graph, split, train_baseline=False)
+    assert 0.0 <= result.test_acc <= 1.0
+
+
+def test_entropy_on_near_empty_graph():
+    rng = np.random.default_rng(0)
+    graph = Graph(10, [(0, 1)], features=rng.random((10, 4)),
+                  labels=rng.integers(0, 2, 10))
+    entropy = RelativeEntropy.from_graph(graph)
+    seqs = build_entropy_sequences(graph, entropy, max_candidates=4)
+    assert np.isfinite(entropy.row(0)).all()
+    assert seqs.num_nodes == 10
+
+
+def test_rewire_with_saturated_budgets():
+    """k and d far beyond feasibility must clamp, not crash."""
+    graph = planted_partition_graph(num_nodes=20, seed=0)
+    entropy = RelativeEntropy.from_graph(graph)
+    seqs = build_entropy_sequences(graph, entropy, max_candidates=5)
+    n = graph.num_nodes
+    out = rewire_graph(graph, seqs, np.full(n, 5), graph.degrees())
+    # Deleting every neighbour and adding all candidates stays valid.
+    adj = out.adjacency().toarray()
+    assert np.allclose(adj, adj.T)
+
+
+def test_complete_graph_has_no_remote_candidates():
+    n = 6
+    rng = np.random.default_rng(0)
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    graph = Graph(n, edges, features=rng.random((n, 4)),
+                  labels=rng.integers(0, 2, n))
+    entropy = RelativeEntropy.from_graph(graph)
+    seqs = build_entropy_sequences(graph, entropy, max_candidates=4)
+    for v in range(n):
+        assert len(seqs.top_remote(v, 4)) == 0
+    # Rewiring with only additions is then the identity.
+    out = rewire_graph(graph, seqs, np.full(n, 4), np.zeros(n, int),
+                       remove_edges=False)
+    assert out.edges == graph.edges
+
+
+def test_two_node_graph_end_to_end():
+    rng = np.random.default_rng(0)
+    graph = Graph(4, [(0, 1), (2, 3)], features=np.eye(4),
+                  labels=np.array([0, 0, 1, 1]))
+    split = random_split(graph.labels, rng)
+    model = build_backbone("gcn", 4, 2, hidden=4, rng=rng)
+    result = train_backbone(model, graph, split, epochs=5)
+    assert np.isfinite(result.test_acc)
+
+
+def test_mlp_policy_handles_one_node_observation():
+    from repro.rl import NodePolicy
+
+    policy = NodePolicy(obs_dim=6, hidden=8, rng=np.random.default_rng(0))
+    action, log_prob, value = policy.act(np.zeros((1, 6)),
+                                         np.random.default_rng(0))
+    assert action.shape == (2,)
+    assert np.isfinite(log_prob)
+
+
+def test_single_feature_dimension():
+    rng = np.random.default_rng(0)
+    graph = Graph(12, [(i, (i + 1) % 12) for i in range(12)],
+                  features=rng.random((12, 1)),
+                  labels=rng.integers(0, 2, 12))
+    entropy = RelativeEntropy.from_graph(graph)
+    assert np.isfinite(entropy.matrix()).all()
+
+
+def test_constant_features_do_not_crash():
+    graph = Graph(8, [(i, (i + 1) % 8) for i in range(8)],
+                  features=np.ones((8, 4)),
+                  labels=np.array([0, 1] * 4))
+    entropy = RelativeEntropy.from_graph(graph)
+    row = entropy.row(0)
+    assert np.isfinite(row).all()
+    # All pairs identical features: the feature term is constant.
+    hf = entropy.feature_row(0)
+    np.testing.assert_allclose(hf, hf[0])
+
+
+def test_horizon_one_episode_one():
+    graph = planted_partition_graph(num_nodes=30, feature_signal=0.4,
+                                    num_features=24, seed=0)
+    split = random_split(graph.labels, np.random.default_rng(0))
+    result = GraphRARE("gcn", tiny_cfg(episodes=1, horizon=1)).fit(
+        graph, split, train_baseline=False
+    )
+    assert 0.0 <= result.test_acc <= 1.0

@@ -1,0 +1,91 @@
+"""Tests for Linear, MLP, Dropout and activation lookup."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(0)
+
+
+def test_linear_forward_shape_and_value():
+    layer = nn.Linear(3, 2, np.random.default_rng(0))
+    x = RNG.standard_normal((5, 3))
+    out = layer(Tensor(x))
+    assert out.shape == (5, 2)
+    np.testing.assert_allclose(out.data, x @ layer.weight.data + layer.bias.data)
+
+
+def test_linear_no_bias():
+    layer = nn.Linear(3, 2, np.random.default_rng(0), bias=False)
+    assert layer.bias is None
+    assert len(layer.parameters()) == 1
+
+
+def test_linear_glorot_scale():
+    layer = nn.Linear(100, 100, np.random.default_rng(0))
+    limit = np.sqrt(6.0 / 200)
+    assert np.abs(layer.weight.data).max() <= limit
+
+
+def test_linear_gradients_flow():
+    layer = nn.Linear(3, 2, np.random.default_rng(0))
+    out = layer(Tensor(RNG.standard_normal((4, 3))))
+    out.sum().backward()
+    assert layer.weight.grad is not None
+    assert layer.bias.grad is not None
+    np.testing.assert_allclose(layer.bias.grad, np.full(2, 4.0))
+
+
+def test_mlp_output_shape():
+    mlp = nn.MLP(4, [16], 3, np.random.default_rng(0))
+    out = mlp(Tensor(RNG.standard_normal((7, 4))))
+    assert out.shape == (7, 3)
+
+
+def test_mlp_no_hidden_is_linear():
+    mlp = nn.MLP(4, [], 3, np.random.default_rng(0))
+    assert len(mlp.layers) == 1
+
+
+def test_mlp_activation_applied_between_layers_only():
+    # With relu and all-negative weights the hidden output would die, but the
+    # final layer must not be rectified: outputs can be negative.
+    mlp = nn.MLP(2, [4], 2, np.random.default_rng(3))
+    out = mlp(Tensor(RNG.standard_normal((50, 2)))).data
+    assert (out < 0).any()
+
+
+def test_mlp_unknown_activation_raises():
+    with pytest.raises(ValueError, match="unknown activation"):
+        nn.MLP(2, [2], 2, np.random.default_rng(0), activation="swish")
+
+
+def test_get_activation_identity():
+    f = nn.get_activation("identity")
+    x = Tensor(np.array([1.0, -1.0]))
+    assert f(x) is x
+
+
+def test_dropout_module_eval_mode():
+    d = nn.Dropout(0.9, np.random.default_rng(0))
+    d.eval()
+    x = Tensor(np.ones(100))
+    np.testing.assert_allclose(d(x).data, np.ones(100))
+
+
+def test_dropout_module_train_mode_masks():
+    d = nn.Dropout(0.5, np.random.default_rng(0))
+    out = d(Tensor(np.ones(1000))).data
+    assert (out == 0).sum() > 300
+
+
+def test_dropout_invalid_p():
+    with pytest.raises(ValueError):
+        nn.Dropout(1.5, np.random.default_rng(0))
+
+
+def test_mlp_repr():
+    mlp = nn.MLP(4, [8], 2, np.random.default_rng(0))
+    assert "4 -> 8 -> 2" in repr(mlp)

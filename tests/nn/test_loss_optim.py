@@ -1,0 +1,196 @@
+"""Tests for losses, metrics, optimizers and early stopping."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(0)
+
+
+# ---------------------------------------------------------------------------
+# cross_entropy
+# ---------------------------------------------------------------------------
+def test_cross_entropy_matches_manual():
+    logits = RNG.standard_normal((5, 3))
+    targets = np.array([0, 1, 2, 1, 0])
+    loss = nn.cross_entropy(Tensor(logits), targets)
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    expected = -log_probs[np.arange(5), targets].mean()
+    assert loss.item() == pytest.approx(expected)
+
+
+def test_cross_entropy_with_boolean_mask():
+    logits = RNG.standard_normal((6, 3))
+    targets = RNG.integers(0, 3, 6)
+    mask = np.array([True, False, True, False, True, False])
+    masked = nn.cross_entropy(Tensor(logits), targets, mask)
+    subset = nn.cross_entropy(Tensor(logits[mask]), targets[mask])
+    assert masked.item() == pytest.approx(subset.item())
+
+
+def test_cross_entropy_with_index_mask():
+    logits = RNG.standard_normal((6, 3))
+    targets = RNG.integers(0, 3, 6)
+    idx = np.array([0, 2, 4])
+    a = nn.cross_entropy(Tensor(logits), targets, idx)
+    b = nn.cross_entropy(Tensor(logits[idx]), targets[idx])
+    assert a.item() == pytest.approx(b.item())
+
+
+def test_cross_entropy_gradient_direction():
+    # Gradient descent on the loss must increase the true-class logit.
+    logits = Tensor(np.zeros((1, 3)), requires_grad=True)
+    loss = nn.cross_entropy(logits, np.array([1]))
+    loss.backward()
+    assert logits.grad[0, 1] < 0  # descending increases logit 1
+    assert logits.grad[0, 0] > 0
+
+
+def test_perfect_prediction_low_loss():
+    logits = np.full((4, 2), -10.0)
+    targets = np.array([0, 1, 0, 1])
+    logits[np.arange(4), targets] = 10.0
+    assert nn.cross_entropy(Tensor(logits), targets).item() < 1e-6
+
+
+# ---------------------------------------------------------------------------
+# accuracy / auc / mse
+# ---------------------------------------------------------------------------
+def test_accuracy_basic():
+    logits = np.array([[2.0, 0.0], [0.0, 2.0], [2.0, 0.0]])
+    assert nn.accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+
+def test_accuracy_empty_mask_returns_zero():
+    assert nn.accuracy(np.zeros((3, 2)), np.zeros(3, dtype=int), np.array([], dtype=int)) == 0.0
+
+
+def test_accuracy_with_mask():
+    logits = np.array([[2.0, 0.0], [0.0, 2.0]])
+    assert nn.accuracy(logits, np.array([0, 0]), np.array([0])) == 1.0
+
+
+def test_macro_auc_perfect_separation():
+    logits = np.array([[5.0, -5.0], [5.0, -5.0], [-5.0, 5.0], [-5.0, 5.0]])
+    targets = np.array([0, 0, 1, 1])
+    assert nn.macro_auc(logits, targets) == pytest.approx(1.0)
+
+
+def test_macro_auc_random_is_half():
+    logits = np.zeros((10, 2))
+    targets = np.array([0, 1] * 5)
+    assert nn.macro_auc(logits, targets) == pytest.approx(0.5)
+
+
+def test_macro_auc_single_class_returns_half():
+    logits = RNG.standard_normal((5, 3))
+    targets = np.zeros(5, dtype=int)
+    assert nn.macro_auc(logits, targets) == 0.5
+
+
+def test_mse_loss():
+    pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+    loss = nn.mse_loss(pred, np.array([0.0, 0.0]))
+    assert loss.item() == pytest.approx(2.5)
+    loss.backward()
+    np.testing.assert_allclose(pred.grad, [1.0, 2.0])
+
+
+# ---------------------------------------------------------------------------
+# Optimizers
+# ---------------------------------------------------------------------------
+def _quadratic_param():
+    return nn.Parameter(np.array([5.0, -3.0]))
+
+
+def _minimise(opt, p, steps=200):
+    for _ in range(steps):
+        opt.zero_grad()
+        loss = (p * p).sum()
+        loss.backward()
+        opt.step()
+    return p.data
+
+
+def test_sgd_minimises_quadratic():
+    p = _quadratic_param()
+    out = _minimise(nn.SGD([p], lr=0.1), p)
+    np.testing.assert_allclose(out, np.zeros(2), atol=1e-6)
+
+
+def test_sgd_momentum_minimises_quadratic():
+    p = _quadratic_param()
+    out = _minimise(nn.SGD([p], lr=0.05, momentum=0.9), p)
+    np.testing.assert_allclose(out, np.zeros(2), atol=1e-4)
+
+
+def test_adam_minimises_quadratic():
+    p = _quadratic_param()
+    out = _minimise(nn.Adam([p], lr=0.1), p, steps=500)
+    np.testing.assert_allclose(out, np.zeros(2), atol=1e-3)
+
+
+def test_adam_weight_decay_shrinks_weights():
+    p = nn.Parameter(np.array([1.0]))
+    opt = nn.Adam([p], lr=0.01, weight_decay=0.5)
+    for _ in range(100):
+        opt.zero_grad()
+        # No data gradient at all: set grad manually to zero.
+        p.grad = np.zeros(1)
+        opt.step()
+    assert abs(p.data[0]) < 1.0
+
+
+def test_optimizer_skips_params_without_grad():
+    p = nn.Parameter(np.array([1.0]))
+    opt = nn.SGD([p], lr=0.1)
+    opt.step()  # no grad accumulated: should not raise or move
+    np.testing.assert_allclose(p.data, [1.0])
+
+
+def test_optimizer_rejects_bad_lr():
+    with pytest.raises(ValueError):
+        nn.SGD([_quadratic_param()], lr=0.0)
+
+
+def test_optimizer_rejects_empty_params():
+    with pytest.raises(ValueError):
+        nn.Adam([], lr=0.1)
+
+
+# ---------------------------------------------------------------------------
+# EarlyStopping
+# ---------------------------------------------------------------------------
+def test_early_stopping_triggers_after_patience():
+    es = nn.EarlyStopping(patience=3)
+    assert not es.step(0.5)
+    assert not es.step(0.4)
+    assert not es.step(0.4)
+    assert es.step(0.4)
+
+
+def test_early_stopping_resets_on_improvement():
+    es = nn.EarlyStopping(patience=2)
+    es.step(0.5)
+    es.step(0.4)
+    assert not es.step(0.6)  # improvement resets counter
+    assert es.counter == 0
+
+
+def test_early_stopping_restores_best_model():
+    mlp = nn.MLP(2, [], 2, np.random.default_rng(0))
+    es = nn.EarlyStopping(patience=2)
+    es.step(0.9, mlp)
+    best = mlp.layers[0].weight.data.copy()
+    mlp.layers[0].weight.data += 10.0
+    es.step(0.1, mlp)
+    es.restore(mlp)
+    np.testing.assert_allclose(mlp.layers[0].weight.data, best)
+
+
+def test_early_stopping_invalid_patience():
+    with pytest.raises(ValueError):
+        nn.EarlyStopping(patience=0)

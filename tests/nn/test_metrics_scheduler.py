@@ -1,0 +1,171 @@
+"""Tests for metrics, schedulers, RMSprop and label smoothing."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(0)
+
+
+# ---------------------------------------------------------------------------
+# Confusion matrix / report
+# ---------------------------------------------------------------------------
+def test_confusion_matrix_counts():
+    preds = np.array([0, 1, 1, 2, 0])
+    targets = np.array([0, 1, 2, 2, 1])
+    m = nn.confusion_matrix(preds, targets, num_classes=3)
+    assert m[0, 0] == 1  # true 0 predicted 0
+    assert m[1, 1] == 1
+    assert m[2, 1] == 1  # true 2 predicted 1
+    assert m[2, 2] == 1
+    assert m[1, 0] == 1
+    assert m.sum() == 5
+
+
+def test_confusion_matrix_shape_mismatch():
+    with pytest.raises(ValueError):
+        nn.confusion_matrix(np.zeros(3, int), np.zeros(4, int))
+
+
+def test_confusion_matrix_infers_classes():
+    m = nn.confusion_matrix(np.array([0, 3]), np.array([3, 0]))
+    assert m.shape == (4, 4)
+
+
+def test_classification_report_perfect():
+    logits = np.eye(3) * 10
+    targets = np.array([0, 1, 2])
+    report = nn.classification_report(logits, targets)
+    np.testing.assert_allclose(report.precision, 1.0)
+    np.testing.assert_allclose(report.recall, 1.0)
+    np.testing.assert_allclose(report.f1, 1.0)
+    assert report.accuracy == 1.0
+    assert report.macro_f1 == 1.0
+
+
+def test_classification_report_with_mask():
+    logits = np.array([[5.0, 0.0], [5.0, 0.0], [0.0, 5.0]])
+    targets = np.array([0, 1, 1])
+    report = nn.classification_report(logits, targets, mask=np.array([0, 2]))
+    assert report.accuracy == 1.0
+
+
+def test_classification_report_zero_support_class():
+    logits = np.array([[5.0, 0.0, 0.0], [5.0, 0.0, 0.0]])
+    targets = np.array([0, 0])
+    report = nn.classification_report(logits, targets, num_classes=3)
+    assert report.support[2] == 0
+    assert report.recall[2] == 0.0  # defined as 0, not NaN
+
+
+def test_report_summary_format():
+    logits = RNG.standard_normal((10, 3))
+    targets = RNG.integers(0, 3, 10)
+    text = nn.classification_report(logits, targets).summary()
+    assert "macro" in text
+    assert "accuracy" in text
+
+
+# ---------------------------------------------------------------------------
+# Schedulers
+# ---------------------------------------------------------------------------
+def make_opt(lr=1.0):
+    return nn.SGD([nn.Parameter(np.zeros(1))], lr=lr)
+
+
+def test_step_lr_halves():
+    opt = make_opt(1.0)
+    sched = nn.StepLR(opt, step_size=2, gamma=0.5)
+    lrs = [sched.step() for _ in range(5)]
+    # Decay applies once step_size full epochs have elapsed.
+    np.testing.assert_allclose(lrs, [1.0, 0.5, 0.5, 0.25, 0.25])
+    assert opt.lr == 0.25
+
+
+def test_step_lr_validation():
+    with pytest.raises(ValueError):
+        nn.StepLR(make_opt(), step_size=0)
+
+
+def test_cosine_lr_endpoints():
+    opt = make_opt(1.0)
+    sched = nn.CosineAnnealingLR(opt, total_epochs=10, min_lr=0.1)
+    lrs = [sched.step() for _ in range(10)]
+    assert lrs[0] < 1.0
+    assert lrs[-1] == pytest.approx(0.1)
+    assert all(a >= b - 1e-12 for a, b in zip(lrs, lrs[1:]))  # monotone decay
+
+
+def test_cosine_lr_clamps_after_total():
+    opt = make_opt(1.0)
+    sched = nn.CosineAnnealingLR(opt, total_epochs=3)
+    for _ in range(5):
+        lr = sched.step()
+    assert lr == pytest.approx(0.0)
+
+
+def test_warmup_lr_ramps():
+    opt = make_opt(1.0)
+    sched = nn.LinearWarmupLR(opt, warmup_epochs=4)
+    lrs = [sched.step() for _ in range(6)]
+    np.testing.assert_allclose(lrs, [0.25, 0.5, 0.75, 1.0, 1.0, 1.0])
+
+
+# ---------------------------------------------------------------------------
+# RMSprop
+# ---------------------------------------------------------------------------
+def test_rmsprop_minimises_quadratic():
+    p = nn.Parameter(np.array([5.0, -3.0]))
+    opt = nn.RMSprop([p], lr=0.05)
+    for _ in range(500):
+        opt.zero_grad()
+        (p * p).sum().backward()
+        opt.step()
+    np.testing.assert_allclose(p.data, np.zeros(2), atol=1e-2)
+
+
+def test_rmsprop_weight_decay():
+    p = nn.Parameter(np.array([1.0]))
+    opt = nn.RMSprop([p], lr=0.01, weight_decay=0.5)
+    for _ in range(50):
+        p.grad = np.zeros(1)
+        opt.step()
+    assert abs(p.data[0]) < 1.0
+
+
+# ---------------------------------------------------------------------------
+# Label smoothing
+# ---------------------------------------------------------------------------
+def test_label_smoothing_zero_equals_cross_entropy():
+    logits = RNG.standard_normal((6, 4))
+    targets = RNG.integers(0, 4, 6)
+    a = nn.cross_entropy(Tensor(logits), targets).item()
+    b = nn.cross_entropy_label_smoothing(Tensor(logits), targets, 0.0).item()
+    assert a == pytest.approx(b)
+
+
+def test_label_smoothing_penalises_overconfidence():
+    # A perfectly confident prediction has zero CE but positive smoothed CE.
+    logits = np.full((1, 3), -100.0)
+    logits[0, 1] = 100.0
+    targets = np.array([1])
+    smooth = nn.cross_entropy_label_smoothing(Tensor(logits), targets, 0.1)
+    assert smooth.item() > 1.0
+
+
+def test_label_smoothing_validation():
+    with pytest.raises(ValueError):
+        nn.cross_entropy_label_smoothing(Tensor(np.zeros((1, 2))), np.array([0]), 1.0)
+
+
+def test_label_smoothing_with_mask():
+    logits = RNG.standard_normal((5, 3))
+    targets = RNG.integers(0, 3, 5)
+    mask = np.array([0, 2, 4])
+    a = nn.cross_entropy_label_smoothing(Tensor(logits), targets, 0.1, mask).item()
+    b = nn.cross_entropy_label_smoothing(
+        Tensor(logits[mask]), targets[mask], 0.1
+    ).item()
+    assert a == pytest.approx(b)

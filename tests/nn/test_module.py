@@ -1,0 +1,89 @@
+"""Tests for Module/Parameter discovery, modes, and state dicts."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(0)
+
+
+def make_mlp():
+    return nn.MLP(4, [8, 8], 3, np.random.default_rng(1), dropout=0.5)
+
+
+def test_parameter_requires_grad():
+    p = nn.Parameter(np.zeros(3))
+    assert p.requires_grad
+
+
+def test_named_parameters_cover_nested_modules():
+    mlp = make_mlp()
+    names = [n for n, _ in mlp.named_parameters()]
+    # 3 Linear layers, each with weight and bias.
+    assert len(names) == 6
+    assert "layers.0.weight" in names
+    assert "layers.2.bias" in names
+
+
+def test_num_parameters():
+    mlp = make_mlp()
+    expected = 4 * 8 + 8 + 8 * 8 + 8 + 8 * 3 + 3
+    assert mlp.num_parameters() == expected
+
+
+def test_train_eval_toggles_all_submodules():
+    mlp = make_mlp()
+    mlp.eval()
+    assert not mlp.training
+    assert not mlp.dropout.training
+    mlp.train()
+    assert mlp.dropout.training
+
+
+def test_zero_grad_clears_all():
+    mlp = make_mlp()
+    x = Tensor(RNG.standard_normal((5, 4)))
+    mlp.eval()
+    out = mlp(x)
+    out.sum().backward()
+    assert any(p.grad is not None for p in mlp.parameters())
+    mlp.zero_grad()
+    assert all(p.grad is None for p in mlp.parameters())
+
+
+def test_state_dict_roundtrip():
+    a, b = make_mlp(), make_mlp()
+    b.layers[0].weight.data += 1.0
+    assert not np.allclose(a.layers[0].weight.data, b.layers[0].weight.data)
+    b.load_state_dict(a.state_dict())
+    np.testing.assert_allclose(a.layers[0].weight.data, b.layers[0].weight.data)
+
+
+def test_state_dict_is_a_copy():
+    mlp = make_mlp()
+    state = mlp.state_dict()
+    mlp.layers[0].weight.data += 5.0
+    assert not np.allclose(state["layers.0.weight"], mlp.layers[0].weight.data)
+
+
+def test_load_state_dict_key_mismatch_raises():
+    mlp = make_mlp()
+    state = mlp.state_dict()
+    state.pop("layers.0.weight")
+    with pytest.raises(KeyError, match="missing"):
+        mlp.load_state_dict(state)
+
+
+def test_load_state_dict_shape_mismatch_raises():
+    mlp = make_mlp()
+    state = mlp.state_dict()
+    state["layers.0.weight"] = np.zeros((2, 2))
+    with pytest.raises(ValueError, match="shape mismatch"):
+        mlp.load_state_dict(state)
+
+
+def test_forward_not_implemented_on_base():
+    with pytest.raises(NotImplementedError):
+        nn.Module()(1)

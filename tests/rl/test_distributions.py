@@ -1,0 +1,92 @@
+"""Tests for categorical / multi-discrete distributions."""
+
+import numpy as np
+import pytest
+
+from repro.rl import Categorical, MultiDiscreteDistribution
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(0)
+
+
+def test_categorical_rejects_1d_logits():
+    with pytest.raises(ValueError):
+        Categorical(Tensor(np.zeros(3)))
+
+
+def test_probs_normalised():
+    cat = Categorical(Tensor(RNG.standard_normal((5, 4))))
+    np.testing.assert_allclose(cat.probs.sum(axis=-1), np.ones(5))
+
+
+def test_sample_respects_support():
+    cat = Categorical(Tensor(RNG.standard_normal((100, 3))))
+    samples = cat.sample(np.random.default_rng(0))
+    assert samples.shape == (100,)
+    assert samples.min() >= 0 and samples.max() < 3
+
+
+def test_sample_degenerate_distribution():
+    logits = np.full((10, 3), -100.0)
+    logits[:, 1] = 100.0
+    cat = Categorical(Tensor(logits))
+    np.testing.assert_array_equal(cat.sample(np.random.default_rng(0)), np.ones(10))
+
+
+def test_sample_frequencies_match_probs():
+    logits = np.log(np.array([[0.7, 0.2, 0.1]])).repeat(20000, axis=0)
+    samples = Categorical(Tensor(logits)).sample(np.random.default_rng(0))
+    freq = np.bincount(samples, minlength=3) / len(samples)
+    np.testing.assert_allclose(freq, [0.7, 0.2, 0.1], atol=0.02)
+
+
+def test_log_prob_matches_log_softmax():
+    logits = RNG.standard_normal((4, 3))
+    cat = Categorical(Tensor(logits))
+    actions = np.array([0, 2, 1, 1])
+    lp = cat.log_prob(actions).data
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    ls = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    np.testing.assert_allclose(lp, ls[np.arange(4), actions])
+
+
+def test_entropy_uniform_is_log_k():
+    cat = Categorical(Tensor(np.zeros((2, 4))))
+    np.testing.assert_allclose(cat.entropy().data, np.log(4.0))
+
+
+def test_entropy_degenerate_near_zero():
+    logits = np.zeros((1, 3))
+    logits[0, 0] = 50.0
+    assert Categorical(Tensor(logits)).entropy().data[0] < 1e-6
+
+
+def test_log_prob_gradient_flows():
+    logits = Tensor(RNG.standard_normal((3, 3)), requires_grad=True)
+    cat = Categorical(logits)
+    cat.log_prob(np.array([0, 1, 2])).sum().backward()
+    assert logits.grad is not None
+    # d/dlogits of sum log softmax picks = onehot - softmax per row.
+    np.testing.assert_allclose(logits.grad.sum(axis=1), np.zeros(3), atol=1e-12)
+
+
+def test_multidiscrete_joint_log_prob_is_sum():
+    logits = RNG.standard_normal((6, 3))
+    dist = MultiDiscreteDistribution(Tensor(logits))
+    cat = Categorical(Tensor(logits))
+    actions = np.array([0, 1, 2, 0, 1, 2])
+    assert dist.log_prob(actions).item() == pytest.approx(
+        cat.log_prob(actions).data.sum()
+    )
+
+
+def test_multidiscrete_entropy_is_sum():
+    logits = RNG.standard_normal((4, 3))
+    dist = MultiDiscreteDistribution(Tensor(logits))
+    cat = Categorical(Tensor(logits))
+    assert dist.entropy().item() == pytest.approx(cat.entropy().data.sum())
+
+
+def test_multidiscrete_sample_shape():
+    dist = MultiDiscreteDistribution(Tensor(RNG.standard_normal((8, 3))))
+    assert dist.sample(np.random.default_rng(0)).shape == (8,)

@@ -1,0 +1,137 @@
+"""PPO tests: policy mechanics plus an end-to-end toy-control check."""
+
+import numpy as np
+import pytest
+
+from repro.rl import Env, MultiDiscreteSpace, NodePolicy, PPO, PPOConfig
+
+
+class CounterEnv(Env):
+    """Toy multi-discrete control problem with the GraphRARE action layout.
+
+    Each of ``n`` counters starts at 0 and should reach its target; actions
+    are (dec / keep / inc) per counter for two banks (mirroring the k and d
+    banks).  Reward is the decrease in total distance to target — directly
+    analogous to the paper's Delta-accuracy reward.
+    """
+
+    OBS_DIM = 4
+
+    def __init__(self, n=4, horizon=8, target=3):
+        self.n = n
+        self.horizon = horizon
+        self.target = np.full(2 * n, float(target))
+        self.action_space = MultiDiscreteSpace([3] * 2 * n)
+
+    def _obs(self):
+        # Row i describes counter i in both banks: (value, gap) x 2.
+        k_state, d_state = self.state[: self.n], self.state[self.n :]
+        k_gap = self.target[: self.n] - k_state
+        d_gap = self.target[self.n :] - d_state
+        return np.stack(
+            [k_state / 5.0, k_gap / 5.0, d_state / 5.0, d_gap / 5.0], axis=1
+        )
+
+    def reset(self):
+        self.state = np.zeros(2 * self.n)
+        self.t = 0
+        return self._obs()
+
+    def step(self, action):
+        before = np.abs(self.target - self.state).sum()
+        self.state += np.asarray(action) - 1.0
+        after = np.abs(self.target - self.state).sum()
+        self.t += 1
+        done = self.t >= self.horizon
+        return self._obs(), float(before - after), done, {}
+
+
+@pytest.fixture
+def policy():
+    return NodePolicy(obs_dim=CounterEnv.OBS_DIM, hidden=32, rng=np.random.default_rng(0))
+
+
+def test_policy_act_shapes(policy):
+    obs = np.zeros((4, 4))
+    action, log_prob, value = policy.act(obs, np.random.default_rng(0))
+    assert action.shape == (8,)  # k-bank + d-bank
+    assert (action >= 0).all() and (action <= 2).all()
+    assert np.isfinite(log_prob)
+    assert np.isfinite(value)
+
+
+def test_policy_rejects_bad_obs(policy):
+    with pytest.raises(ValueError):
+        policy.act(np.zeros((4, 5)), np.random.default_rng(0))
+
+
+def test_evaluate_actions_differentiable(policy):
+    obs = np.random.default_rng(0).standard_normal((4, 4))
+    action = np.zeros(8, dtype=int)
+    log_prob, entropy, value = policy.evaluate_actions(obs, action)
+    (log_prob + entropy + value).backward()
+    assert any(p.grad is not None for p in policy.parameters())
+
+
+def test_evaluate_matches_act_log_prob(policy):
+    obs = np.random.default_rng(1).standard_normal((4, 4))
+    rng = np.random.default_rng(2)
+    action, log_prob, value = policy.act(obs, rng)
+    lp, _, v = policy.evaluate_actions(obs, action)
+    assert lp.item() == pytest.approx(log_prob)
+    assert v.item() == pytest.approx(value)
+
+
+def test_collect_rollout_length(policy):
+    env = CounterEnv()
+    ppo = PPO(policy, rng=np.random.default_rng(0))
+    buf = ppo.collect_rollout(env, 10)
+    assert len(buf) == 10
+    # Episode boundary after horizon=8 steps.
+    assert buf.dones[7] is True
+    assert buf.dones[8] is False
+
+
+def test_update_returns_stats(policy):
+    env = CounterEnv()
+    ppo = PPO(policy, PPOConfig(update_epochs=1), rng=np.random.default_rng(0))
+    buf = ppo.collect_rollout(env, 8)
+    stats = ppo.update(buf)
+    assert stats.num_steps == 8
+    assert np.isfinite(stats.policy_loss)
+    assert np.isfinite(stats.value_loss)
+    assert stats.entropy > 0
+
+
+def test_gradient_clipping_bounds_norm(policy):
+    ppo = PPO(policy, PPOConfig(max_grad_norm=0.001), rng=np.random.default_rng(0))
+    for p in policy.parameters():
+        p.grad = np.ones_like(p.data) * 100.0
+    ppo._clip_gradients(0.001)
+    total = sum(float((p.grad**2).sum()) for p in policy.parameters())
+    assert np.sqrt(total) <= 0.001 + 1e-9
+
+
+def test_ppo_learns_counter_env():
+    """End-to-end: mean episode reward should rise toward the optimum."""
+    env = CounterEnv(n=3, horizon=6, target=3)
+    policy = NodePolicy(obs_dim=CounterEnv.OBS_DIM, hidden=32, rng=np.random.default_rng(0))
+    ppo = PPO(
+        policy,
+        PPOConfig(lr=5e-3, update_epochs=4, entropy_coef=0.005),
+        rng=np.random.default_rng(0),
+    )
+    ppo.learn(env, total_steps=360, rollout_steps=24)
+    early = np.mean([s.mean_reward for s in ppo.history[:3]])
+    late = np.mean([s.mean_reward for s in ppo.history[-3:]])
+    assert late > early, f"PPO did not improve: {early} -> {late}"
+    # Optimal per-step reward is 6 (every counter moves toward target each
+    # step until saturation); insist on clear progress beyond random (~0).
+    assert late > 1.5
+
+
+def test_learn_respects_total_steps(policy):
+    env = CounterEnv()
+    ppo = PPO(policy, PPOConfig(update_epochs=1), rng=np.random.default_rng(0))
+    history = ppo.learn(env, total_steps=20, rollout_steps=8)
+    assert sum(s.num_steps for s in history) == 20

@@ -1,0 +1,313 @@
+"""Gradient and forward-value tests for every op in repro.tensor.ops."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.tensor import Tensor, gradcheck, ops
+
+RNG = np.random.default_rng(0)
+
+
+def rand(*shape):
+    return RNG.standard_normal(shape)
+
+
+# ---------------------------------------------------------------------------
+# Binary elementwise
+# ---------------------------------------------------------------------------
+def test_add_grad():
+    assert gradcheck(ops.add, [rand(3, 4), rand(3, 4)])
+
+
+def test_add_broadcast_grad():
+    assert gradcheck(ops.add, [rand(3, 4), rand(4)])
+    assert gradcheck(ops.add, [rand(3, 1), rand(3, 4)])
+
+
+def test_sub_grad():
+    assert gradcheck(ops.sub, [rand(2, 3), rand(2, 3)])
+
+
+def test_mul_grad():
+    assert gradcheck(ops.mul, [rand(4), rand(4)])
+
+
+def test_div_grad():
+    b = rand(3) * 0.5 + 2.0  # keep away from zero
+    assert gradcheck(ops.div, [rand(3), b])
+
+
+def test_minimum_forward_and_grad():
+    a, b = np.array([1.0, 5.0]), np.array([2.0, 3.0])
+    out = ops.minimum(Tensor(a), Tensor(b))
+    np.testing.assert_allclose(out.data, [1.0, 3.0])
+    assert gradcheck(ops.minimum, [rand(5) + 3, rand(5)])  # no ties
+
+
+def test_maximum_forward_and_grad():
+    a, b = np.array([1.0, 5.0]), np.array([2.0, 3.0])
+    out = ops.maximum(Tensor(a), Tensor(b))
+    np.testing.assert_allclose(out.data, [2.0, 5.0])
+    assert gradcheck(ops.maximum, [rand(5) + 3, rand(5)])
+
+
+# ---------------------------------------------------------------------------
+# Unary elementwise
+# ---------------------------------------------------------------------------
+def test_neg_grad():
+    assert gradcheck(ops.neg, [rand(3, 2)])
+
+
+def test_pow_grad():
+    x = np.abs(rand(4)) + 0.5
+    assert gradcheck(lambda t: ops.pow(t, 3.0), [x])
+    assert gradcheck(lambda t: ops.pow(t, 0.5), [x])
+
+
+def test_exp_grad():
+    assert gradcheck(ops.exp, [rand(3)])
+
+
+def test_log_grad():
+    assert gradcheck(ops.log, [np.abs(rand(3)) + 0.5])
+
+
+def test_sqrt_matches_pow_half():
+    x = np.abs(rand(4)) + 1.0
+    np.testing.assert_allclose(ops.sqrt(Tensor(x)).data, np.sqrt(x))
+
+
+def test_abs_grad_away_from_zero():
+    x = rand(5)
+    x[np.abs(x) < 0.2] += 0.5
+    assert gradcheck(ops.abs, [x])
+
+
+def test_clamp_forward_and_grad():
+    x = np.array([-2.0, 0.5, 3.0])
+    out = ops.clamp(Tensor(x), -1.0, 1.0)
+    np.testing.assert_allclose(out.data, [-1.0, 0.5, 1.0])
+    t = Tensor(x, requires_grad=True)
+    ops.clamp(t, -1.0, 1.0).backward(np.ones(3))
+    np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+
+def test_clamp_one_sided():
+    x = np.array([-2.0, 2.0])
+    np.testing.assert_allclose(ops.clamp(Tensor(x), lo=0.0).data, [0.0, 2.0])
+    np.testing.assert_allclose(ops.clamp(Tensor(x), hi=0.0).data, [-2.0, 0.0])
+
+
+def test_relu_grad():
+    x = rand(10)
+    x[np.abs(x) < 0.1] += 0.3  # avoid kink
+    assert gradcheck(ops.relu, [x])
+
+
+def test_leaky_relu_grad():
+    x = rand(10)
+    x[np.abs(x) < 0.1] += 0.3
+    assert gradcheck(lambda t: ops.leaky_relu(t, 0.2), [x])
+
+
+def test_elu_grad():
+    x = rand(10)
+    x[np.abs(x) < 0.1] += 0.3
+    assert gradcheck(ops.elu, [x])
+
+
+def test_elu_forward_negative_branch():
+    out = ops.elu(Tensor(np.array([-1.0])))
+    np.testing.assert_allclose(out.data, np.exp(-1.0) - 1.0)
+
+
+def test_tanh_grad():
+    assert gradcheck(ops.tanh, [rand(4)])
+
+
+def test_sigmoid_grad():
+    assert gradcheck(ops.sigmoid, [rand(4)])
+
+
+# ---------------------------------------------------------------------------
+# Reductions / shape
+# ---------------------------------------------------------------------------
+def test_sum_all_grad():
+    assert gradcheck(lambda t: ops.sum(t), [rand(3, 4)])
+
+
+def test_sum_axis_grad():
+    assert gradcheck(lambda t: ops.sum(t, axis=0), [rand(3, 4)])
+    assert gradcheck(lambda t: ops.sum(t, axis=1, keepdims=True), [rand(3, 4)])
+    assert gradcheck(lambda t: ops.sum(t, axis=-1), [rand(3, 4)])
+
+
+def test_mean_grad():
+    assert gradcheck(lambda t: ops.mean(t), [rand(3, 4)])
+    assert gradcheck(lambda t: ops.mean(t, axis=1), [rand(3, 4)])
+
+
+def test_mean_value():
+    x = rand(5, 2)
+    np.testing.assert_allclose(ops.mean(Tensor(x)).data, x.mean())
+
+
+def test_reshape_grad():
+    assert gradcheck(lambda t: ops.reshape(t, (6,)), [rand(2, 3)])
+
+
+def test_transpose_grad():
+    assert gradcheck(ops.transpose, [rand(2, 5)])
+
+
+def test_concat_grad():
+    assert gradcheck(lambda a, b: ops.concat([a, b], axis=1), [rand(2, 3), rand(2, 2)])
+    assert gradcheck(lambda a, b: ops.concat([a, b], axis=0), [rand(2, 3), rand(1, 3)])
+
+
+def test_stack_grad():
+    assert gradcheck(lambda a, b: ops.stack([a, b], axis=0), [rand(3), rand(3)])
+
+
+# ---------------------------------------------------------------------------
+# Linear algebra
+# ---------------------------------------------------------------------------
+def test_matmul_grad():
+    assert gradcheck(ops.matmul, [rand(3, 4), rand(4, 2)])
+
+
+def test_spmm_forward_and_grad():
+    dense = (RNG.random((4, 4)) < 0.5).astype(float)
+    mat = sp.csr_matrix(dense)
+    x = rand(4, 3)
+    out = ops.spmm(mat, Tensor(x))
+    np.testing.assert_allclose(out.data, dense @ x)
+
+    t = Tensor(x, requires_grad=True)
+    ops.spmm(mat, t).backward(np.ones((4, 3)))
+    np.testing.assert_allclose(t.grad, dense.T @ np.ones((4, 3)))
+
+
+# ---------------------------------------------------------------------------
+# Indexing
+# ---------------------------------------------------------------------------
+def test_gather_rows_forward():
+    x = rand(5, 3)
+    idx = np.array([0, 0, 4, 2])
+    out = ops.gather_rows(Tensor(x), idx)
+    np.testing.assert_allclose(out.data, x[idx])
+
+
+def test_gather_rows_grad_with_duplicates():
+    x = Tensor(rand(4, 2), requires_grad=True)
+    idx = np.array([1, 1, 3])
+    ops.gather_rows(x, idx).backward(np.ones((3, 2)))
+    expected = np.zeros((4, 2))
+    expected[1] = 2.0
+    expected[3] = 1.0
+    np.testing.assert_allclose(x.grad, expected)
+
+
+def test_scatter_add_rows_forward():
+    src = np.array([[1.0], [2.0], [3.0]])
+    idx = np.array([0, 2, 0])
+    out = ops.scatter_add_rows(Tensor(src), idx, num_rows=3)
+    np.testing.assert_allclose(out.data, [[4.0], [0.0], [2.0]])
+
+
+def test_scatter_gather_are_adjoint():
+    # <scatter(src), y> == <src, gather(y)> for all src, y.
+    src = rand(6, 2)
+    y = rand(3, 2)
+    idx = np.array([0, 1, 1, 2, 0, 2])
+    lhs = (ops.scatter_add_rows(Tensor(src), idx, 3).data * y).sum()
+    rhs = (src * y[idx]).sum()
+    assert lhs == pytest.approx(rhs)
+
+
+def test_scatter_add_rows_grad():
+    src = Tensor(rand(4, 2), requires_grad=True)
+    idx = np.array([0, 1, 1, 0])
+    upstream = rand(2, 2)
+    ops.scatter_add_rows(src, idx, 2).backward(upstream)
+    np.testing.assert_allclose(src.grad, upstream[idx])
+
+
+# ---------------------------------------------------------------------------
+# Softmax family
+# ---------------------------------------------------------------------------
+def test_log_softmax_normalises():
+    x = rand(4, 5)
+    out = ops.log_softmax(Tensor(x), axis=-1)
+    np.testing.assert_allclose(np.exp(out.data).sum(axis=-1), np.ones(4))
+
+
+def test_log_softmax_grad():
+    assert gradcheck(lambda t: ops.log_softmax(t, axis=-1), [rand(3, 4)])
+    assert gradcheck(lambda t: ops.log_softmax(t, axis=0), [rand(3, 4)])
+
+
+def test_softmax_grad():
+    assert gradcheck(lambda t: ops.softmax(t, axis=-1), [rand(3, 4)])
+
+
+def test_softmax_shift_invariance():
+    x = rand(2, 3)
+    a = ops.softmax(Tensor(x)).data
+    b = ops.softmax(Tensor(x + 100.0)).data
+    np.testing.assert_allclose(a, b, atol=1e-12)
+
+
+def test_segment_softmax_normalises_per_segment():
+    logits = rand(6)
+    seg = np.array([0, 0, 1, 1, 1, 2])
+    out = ops.segment_softmax(Tensor(logits), seg, 3)
+    for s in range(3):
+        np.testing.assert_allclose(out.data[seg == s].sum(), 1.0)
+
+
+def test_segment_softmax_grad():
+    seg = np.array([0, 0, 1, 1, 1])
+    assert gradcheck(lambda t: ops.segment_softmax(t, seg, 2), [rand(5)])
+
+
+def test_segment_softmax_multihead():
+    seg = np.array([0, 0, 1])
+    out = ops.segment_softmax(Tensor(rand(3, 4)), seg, 2)
+    np.testing.assert_allclose(out.data[:2].sum(axis=0), np.ones(4))
+    np.testing.assert_allclose(out.data[2], np.ones(4))
+
+
+# ---------------------------------------------------------------------------
+# Dropout
+# ---------------------------------------------------------------------------
+def test_dropout_eval_mode_is_identity():
+    x = Tensor(rand(10))
+    out = ops.dropout(x, 0.5, np.random.default_rng(0), training=False)
+    assert out is x
+
+
+def test_dropout_zero_p_is_identity():
+    x = Tensor(rand(10))
+    assert ops.dropout(x, 0.0, np.random.default_rng(0)) is x
+
+
+def test_dropout_scales_surviving_entries():
+    x = np.ones(10_000)
+    out = ops.dropout(Tensor(x), 0.5, np.random.default_rng(0)).data
+    surviving = out[out > 0]
+    np.testing.assert_allclose(surviving, 2.0)
+    assert abs(out.mean() - 1.0) < 0.05
+
+
+def test_dropout_invalid_p_raises():
+    with pytest.raises(ValueError):
+        ops.dropout(Tensor(np.ones(3)), 1.0, np.random.default_rng(0))
+
+
+def test_dropout_grad_uses_same_mask():
+    x = Tensor(np.ones(1000), requires_grad=True)
+    out = ops.dropout(x, 0.3, np.random.default_rng(7))
+    out.backward(np.ones(1000))
+    np.testing.assert_allclose(x.grad, out.data)

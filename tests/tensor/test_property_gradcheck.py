@@ -1,0 +1,67 @@
+"""Hypothesis property tests: autograd gradients match finite differences."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tensor import Tensor, gradcheck, ops
+
+finite_floats = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False)
+
+
+def small_array(shape):
+    return arrays(np.float64, shape, elements=finite_floats)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_array((3, 4)), small_array((3, 4)))
+def test_add_mul_composition(a, b):
+    assert gradcheck(lambda x, y: x * y + x, [a, b], atol=1e-4)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_array((4,)))
+def test_tanh_sigmoid_chain(a):
+    assert gradcheck(lambda x: ops.sigmoid(ops.tanh(x)), [a], atol=1e-4)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_array((2, 3)), small_array((3, 2)))
+def test_matmul_then_softmax(a, b):
+    assert gradcheck(
+        lambda x, y: ops.log_softmax(ops.matmul(x, y), axis=-1), [a, b], atol=1e-4
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_array((3, 3)))
+def test_exp_of_clamped(a):
+    # Keep samples away from the clamp kinks, where finite differences
+    # straddle the non-differentiable point.
+    assume((np.abs(np.abs(a) - 2.0) > 1e-3).all())
+    assert gradcheck(lambda x: ops.exp(ops.clamp(x, -2.0, 2.0) * 0.5), [a], atol=1e-4)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_array((5,)))
+def test_softmax_rows_sum_to_one(a):
+    out = ops.softmax(Tensor(a)).data
+    assert np.isclose(out.sum(), 1.0)
+    assert (out >= 0).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_array((4, 2)))
+def test_gather_scatter_roundtrip_preserves_sum(a):
+    idx = np.array([0, 1, 2, 3])
+    gathered = ops.gather_rows(Tensor(a), idx)
+    scattered = ops.scatter_add_rows(gathered, idx, 4)
+    np.testing.assert_allclose(scattered.data, a)
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_array((3, 4)))
+def test_sum_axes_grad(a):
+    assert gradcheck(lambda x: ops.sum(x, axis=1), [a], atol=1e-4)
+    assert gradcheck(lambda x: ops.mean(x, axis=0), [a], atol=1e-4)

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_dataset():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["info", "--dataset", "citeseer"])
+
+
+def test_info_command(capsys):
+    code = main(["info", "--dataset", "cornell", "--scale", "0.5"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "homophily" in out
+    assert "nodes" in out
+
+
+def test_rewire_command(capsys):
+    code = main([
+        "rewire", "--dataset", "texas", "--scale", "0.5", "--k", "2", "--d", "1",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "edges added" in out
+    assert "homophily" in out
+
+
+def test_rewire_saves_graph(tmp_path, capsys):
+    out_path = str(tmp_path / "rewired.npz")
+    code = main([
+        "rewire", "--dataset", "texas", "--scale", "0.5",
+        "--k", "1", "--d", "0", "--out", out_path,
+    ])
+    assert code == 0
+    from repro.graph import load_graph
+
+    loaded = load_graph(out_path)
+    assert loaded.num_nodes > 0
+
+
+def test_run_command_small(capsys):
+    code = main([
+        "run", "--dataset", "texas", "--scale", "0.4",
+        "--backbone", "gcn", "--episodes", "1", "--horizon", "2",
+        "--k-max", "2", "--d-max", "2",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "GCN-RARE".lower() in out.lower()
+    assert "mean over 1 split" in out
+
+
+def test_run_command_alternative_agent(capsys):
+    code = main([
+        "run", "--dataset", "texas", "--scale", "0.4",
+        "--episodes", "1", "--horizon", "2", "--rl", "reinforce",
+        "--k-max", "2", "--d-max", "2",
+    ])
+    assert code == 0
