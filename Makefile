@@ -1,0 +1,16 @@
+PY := PYTHONPATH=src python
+
+.PHONY: test bench-smoke bench-scaling
+
+test:
+	$(PY) -m pytest -x -q
+
+# Fast sanity run of the CSR scaling benchmark (< 60 s): measures the
+# vectorized entropy pipeline + delta rewiring against the seed loops at
+# small N and asserts the >= 5x speedup contract.
+bench-smoke:
+	$(PY) benchmarks/bench_scaling_rewire.py --sizes 1000 5000 --steps 5
+
+# Full trajectory including the 20k-node fast-path-only point.
+bench-scaling:
+	$(PY) benchmarks/bench_scaling_rewire.py

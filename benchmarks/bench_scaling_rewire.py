@@ -1,0 +1,196 @@
+"""Scaling benchmark for the CSR graph/rewiring engine.
+
+Measures the two per-RL-step hot paths on synthetic graphs at
+N in {1k, 5k, 20k}:
+
+* the entropy pipeline — ``degree_profiles`` + ``build_entropy_sequences``
+  (batched GEMM/JS blocks + one lexsort) versus the seed's per-node loops;
+* per-step rewiring — delta application on sorted edge-key arrays versus
+  the seed's set-of-tuples rebuild.
+
+The seed reference is only timed where it finishes in reasonable wall-clock
+(by default up to 5k nodes); the 20k point charts the fast path's scaling
+trajectory on its own.  The acceptance contract — combined pipeline+rewire
+speedup >= 5x at N = 5k — is asserted both by the CLI run and by the
+``slow``-marked pytest wrapper (never collected by the tier-1 run).
+
+CLI (used by ``make bench-smoke``, < 60 s):
+
+    PYTHONPATH=src python benchmarks/bench_scaling_rewire.py \
+        --sizes 1000 5000 --steps 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+import pytest
+
+from repro.bench import format_table, save_results
+from repro.core import (
+    clamp_state,
+    rewire_graph,
+    rewire_graph_reference,
+)
+from repro.datasets import planted_partition_graph
+from repro.entropy import (
+    RelativeEntropy,
+    build_entropy_sequences,
+    build_entropy_sequences_reference,
+    degree_profiles,
+    degree_profiles_reference,
+)
+
+#: Largest N at which the seed's per-node loops are still worth waiting for.
+REFERENCE_CUTOFF = 5_000
+
+#: The acceptance contract from the CSR-engine issue.
+TARGET_SPEEDUP = 5.0
+TARGET_N = 5_000
+
+
+def _timed(fn, repeats: int = 1) -> float:
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_one_size(n: int, steps: int, seed: int = 0, with_reference: bool = True):
+    """Time pipeline + rewiring at one graph size; returns a result dict."""
+    graph = planted_partition_graph(
+        num_nodes=n, num_classes=5, homophily=0.4, mean_degree=8.0,
+        num_features=32, seed=seed,
+    )
+    entropy = RelativeEntropy.from_graph(graph, lam=1.0, max_profile_len=32)
+
+    t_prof_fast = _timed(lambda: degree_profiles(graph, max_len=32), repeats=2)
+    t_seq_fast = _timed(
+        lambda: build_entropy_sequences(graph, entropy, max_candidates=16)
+    )
+    sequences = build_entropy_sequences(graph, entropy, max_candidates=16)
+
+    rng = np.random.default_rng(seed)
+    states = [
+        clamp_state(
+            rng.integers(0, 8, n), rng.integers(0, 8, n),
+            graph, sequences, 8, 8,
+        )
+        for _ in range(steps)
+    ]
+
+    start = time.perf_counter()
+    for k, d in states:
+        rewire_graph(graph, sequences, k, d)
+    t_rewire_fast = (time.perf_counter() - start) / steps
+
+    out = {
+        "n": n,
+        "num_edges": graph.num_edges,
+        "profiles_fast_s": t_prof_fast,
+        "sequences_fast_s": t_seq_fast,
+        "rewire_fast_s": t_rewire_fast,
+    }
+
+    if with_reference:
+        out["profiles_ref_s"] = _timed(
+            lambda: degree_profiles_reference(graph, max_len=32)
+        )
+        out["sequences_ref_s"] = _timed(
+            lambda: build_entropy_sequences_reference(
+                graph, entropy, max_candidates=16
+            )
+        )
+        start = time.perf_counter()
+        for k, d in states:
+            rewire_graph_reference(graph, sequences, k, d)
+        out["rewire_ref_s"] = (time.perf_counter() - start) / steps
+        fast = out["sequences_fast_s"] + out["rewire_fast_s"]
+        ref = out["sequences_ref_s"] + out["rewire_ref_s"]
+        out["combined_speedup"] = ref / max(fast, 1e-12)
+    return out
+
+
+def run_scaling(sizes, steps: int = 5, seed: int = 0):
+    results = []
+    for n in sizes:
+        results.append(
+            bench_one_size(n, steps, seed=seed, with_reference=n <= REFERENCE_CUTOFF)
+        )
+    return results
+
+
+def print_report(results) -> None:
+    def cell(r, key):
+        return f"{1000 * r[key]:.1f}" if key in r else "-"
+
+    rows = [
+        [
+            f"{r['n']:,}",
+            f"{r['num_edges']:,}",
+            cell(r, "sequences_fast_s"),
+            cell(r, "sequences_ref_s"),
+            cell(r, "rewire_fast_s"),
+            cell(r, "rewire_ref_s"),
+            f"{r['combined_speedup']:.1f}x" if "combined_speedup" in r else "-",
+        ]
+        for r in results
+    ]
+    print(
+        format_table(
+            "CSR engine scaling: entropy pipeline + per-step rewire "
+            "(fast vs seed loops, ms)",
+            ["N", "|E|", "seq fast", "seq seed", "rewire fast",
+             "rewire seed", "speedup"],
+            rows,
+        )
+    )
+
+
+def check_contract(results) -> None:
+    """Assert the >= 5x combined speedup wherever the reference was timed
+    at the contract size."""
+    for r in results:
+        if r["n"] == TARGET_N and "combined_speedup" in r:
+            assert r["combined_speedup"] >= TARGET_SPEEDUP, (
+                f"combined speedup {r['combined_speedup']:.1f}x at "
+                f"N={TARGET_N} is below the {TARGET_SPEEDUP}x contract"
+            )
+
+
+@pytest.mark.slow
+def test_scaling_rewire_speedup():
+    results = run_scaling([1_000, TARGET_N], steps=5)
+    print_report(results)
+    save_results("scaling_rewire", {str(r["n"]): r for r in results})
+    assert any(r["n"] == TARGET_N and "combined_speedup" in r for r in results)
+    check_contract(results)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[1_000, 5_000, 20_000],
+        help="graph sizes to measure",
+    )
+    parser.add_argument("--steps", type=int, default=5,
+                        help="rewire steps timed per size")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    results = run_scaling(args.sizes, steps=args.steps, seed=args.seed)
+    print_report(results)
+    path = save_results("scaling_rewire", {str(r["n"]): r for r in results})
+    print(f"\nresults saved to {path}")
+    check_contract(results)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

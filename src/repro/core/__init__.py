@@ -5,7 +5,12 @@ from .analysis import RewiringAnalysis, analyze_rewiring, degree_change_report
 from .config import RareConfig
 from .env import OBS_DIM, TopologyEnv, build_observation
 from .framework import GraphRARE, RareResult
-from .rewire import clamp_state, edit_distance, rewire_graph
+from .rewire import (
+    clamp_state,
+    edit_distance,
+    rewire_graph,
+    rewire_graph_reference,
+)
 from .temporal import TemporalGraphRARE, TemporalRareResult, drifting_snapshots
 
 __all__ = [
@@ -24,6 +29,7 @@ __all__ = [
     "fixed_kd_grid",
     "random_kd",
     "rewire_graph",
+    "rewire_graph_reference",
     "TemporalGraphRARE",
     "TemporalRareResult",
     "drifting_snapshots",

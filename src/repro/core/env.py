@@ -48,13 +48,18 @@ def build_observation(
     node's "personality".
     """
     deg = graph.degrees().astype(np.float64)
-    max_deg = max(deg.max(), 1.0)
+    max_deg = max(deg.max(), 1.0)  # guard: edgeless graphs have max degree 0
     avail = (sequences.remote >= 0).sum(axis=1).astype(np.float64)
     score_scale = 1.0 + config.lam
 
+    # Guard: a sequence built over a (near-)complete graph can have zero
+    # remote-candidate columns; the summary statistic is then simply 0.
     top = sequences.remote_scores[:, :3].copy()
-    top[~np.isfinite(top)] = 0.0
-    top_mean = top.mean(axis=1) / score_scale
+    if top.shape[1]:
+        top[~np.isfinite(top)] = 0.0
+        top_mean = top.mean(axis=1) / score_scale
+    else:
+        top_mean = np.zeros(graph.num_nodes)
 
     neigh_mean = np.array(
         [s.mean() if len(s) else 0.0 for s in sequences.neighbor_scores]
@@ -65,7 +70,7 @@ def build_observation(
             k / max(config.k_max, 1),
             d / max(config.d_max, 1),
             deg / max_deg,
-            avail / sequences.max_candidates,
+            avail / max(sequences.max_candidates, 1),
             top_mean,
             neigh_mean,
         ],
@@ -101,6 +106,9 @@ class TopologyEnv(Env):
         self.current_graph: Graph = graph
         self.history: list[Dict[str, float]] = []
         self._steps_total = 0
+        self._rewire_cache: Dict[bytes, Graph] = {}
+        self._rewire_hits = 0
+        self._rewire_misses = 0
         self.reset()
 
     # ------------------------------------------------------------------
@@ -120,6 +128,15 @@ class TopologyEnv(Env):
 
     # ------------------------------------------------------------------
     def reset(self) -> np.ndarray:
+        """Start a new episode: ``S_0 = 0`` on the original topology.
+
+        Cross-episode semantics (deliberate, relied on by the convergence
+        benches): :attr:`history` and the global step counter
+        ``_steps_total`` accumulate across episodes so one environment
+        yields one continuous training log — call :meth:`clear_history` for
+        a fresh log.  The rewire memo also survives resets because it is
+        keyed purely on ``(k, d)`` over the immutable base graph.
+        """
         n = self.base_graph.num_nodes
         self.k = np.zeros(n, dtype=np.int64)
         self.d = np.zeros(n, dtype=np.int64)
@@ -127,6 +144,48 @@ class TopologyEnv(Env):
         self.current_graph = self.base_graph
         self.prev_score, self.prev_loss = self._metrics(self.base_graph)
         return self._observation()
+
+    def clear_history(self) -> None:
+        """Drop the accumulated cross-episode log and step counter."""
+        self.history = []
+        self._steps_total = 0
+
+    #: Entries kept in the (k, d) -> Graph memo.  Each entry pins a Graph
+    #: plus whatever propagation matrices the GNN caches on it, so the
+    #: bound is deliberately small: large enough to cover the states of a
+    #: typical run (episodes * horizon), small enough that exploratory
+    #: policies (which rarely revisit a 2N-dimensional state) cannot grow
+    #: memory without bound.
+    REWIRE_CACHE_LIMIT = 64
+
+    def _rewired(self, k: np.ndarray, d: np.ndarray) -> Graph:
+        """Memoised rewiring: repeated ``(k, d)`` states are free.
+
+        The MDP rebuilds ``G_{t+1}`` from the *original* topology, so the
+        result depends only on the clamped state — an episode that revisits
+        a state (all-keep actions, oscillating policies) reuses the exact
+        Graph object, and with it every propagation matrix cached on it.
+        Eviction is FIFO (dicts preserve insertion order), so a revisited
+        early state can age out but the memo never resets wholesale.
+        """
+        key = k.tobytes() + d.tobytes()
+        graph = self._rewire_cache.get(key)
+        if graph is None:
+            self._rewire_misses += 1
+            graph = rewire_graph(
+                self.base_graph,
+                self.sequences,
+                k,
+                d,
+                add_edges=self.config.add_edges,
+                remove_edges=self.config.remove_edges,
+            )
+            while len(self._rewire_cache) >= self.REWIRE_CACHE_LIMIT:
+                self._rewire_cache.pop(next(iter(self._rewire_cache)))
+            self._rewire_cache[key] = graph
+        else:
+            self._rewire_hits += 1
+        return graph
 
     def step(self, action: np.ndarray) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
         action = np.asarray(action, dtype=np.int64)
@@ -142,14 +201,7 @@ class TopologyEnv(Env):
             self.config.k_max, self.config.d_max,
         )
 
-        graph = rewire_graph(
-            self.base_graph,
-            self.sequences,
-            self.k,
-            self.d,
-            add_edges=self.config.add_edges,
-            remove_edges=self.config.remove_edges,
-        )
+        graph = self._rewired(self.k, self.d)
         self.current_graph = graph
 
         score, loss = self._metrics(graph)

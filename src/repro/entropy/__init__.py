@@ -8,11 +8,18 @@ from .feature_entropy import (
     log_pair_normalizer,
 )
 from .relative_entropy import RelativeEntropy, class_pair_entropy
-from .sequence import EntropySequences, build_entropy_sequences
+from .sequence import (
+    EntropySequences,
+    build_entropy_sequences,
+    build_entropy_sequences_reference,
+)
 from .structural_entropy import (
     degree_profiles,
+    degree_profiles_reference,
     js_divergence,
+    js_divergence_block,
     kl_divergence,
+    kl_divergence_block,
     structural_entropy_matrix,
     structural_entropy_pairs,
     structural_entropy_row,
@@ -22,14 +29,18 @@ __all__ = [
     "EntropySequences",
     "RelativeEntropy",
     "build_entropy_sequences",
+    "build_entropy_sequences_reference",
     "class_pair_entropy",
     "degree_profiles",
+    "degree_profiles_reference",
     "embed_features",
     "entropy_from_logits",
     "feature_entropy_matrix",
     "feature_entropy_pairs",
     "js_divergence",
+    "js_divergence_block",
     "kl_divergence",
+    "kl_divergence_block",
     "log_pair_normalizer",
     "structural_entropy_matrix",
     "structural_entropy_pairs",

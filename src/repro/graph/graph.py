@@ -2,14 +2,18 @@
 
 A graph is ``G = (V, E, X, A)`` as in the paper's Table I: node features
 ``X`` (dense ``N x d``), integer labels ``y``, and an undirected, unweighted
-adjacency stored as an edge set plus a cached ``scipy.sparse`` matrix.
-Self-loops are disallowed in the edge set (propagation rules add their own
-self-connections where the layer definition calls for them).
+adjacency.  The *primary* topology state is a sorted, deduplicated array of
+canonical edge keys (``u * N + v`` with ``u < v``) — a compiled CSR-style
+representation that every derived structure (adjacency, degrees, neighbour
+slices) is built from with vectorised numpy, never per-edge Python loops.
+The historical frozen-set edge API is kept as a lazily materialised
+compatibility view.  Self-loops are disallowed (propagation rules add their
+own self-connections where the layer definition calls for them).
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Optional, Set, Tuple
+from typing import FrozenSet, Iterable, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -20,6 +24,22 @@ Edge = Tuple[int, int]
 def canonical_edge(u: int, v: int) -> Edge:
     """Return the undirected edge ``{u, v}`` in sorted-tuple form."""
     return (u, v) if u < v else (v, u)
+
+
+def _edges_to_array(edges: Iterable[Edge]) -> np.ndarray:
+    """Coerce any iterable of ``(u, v)`` pairs into an ``(E, 2)`` int array."""
+    if isinstance(edges, np.ndarray):
+        arr = np.asarray(edges, dtype=np.int64)
+    else:
+        pairs = list(edges)
+        if not pairs:
+            return np.empty((0, 2), dtype=np.int64)
+        arr = np.asarray(pairs, dtype=np.int64)
+    if arr.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"edges must be (u, v) pairs, got shape {arr.shape}")
+    return arr
 
 
 class Graph:
@@ -50,15 +70,22 @@ class Graph:
             raise ValueError(f"num_nodes must be positive, got {num_nodes}")
         self.num_nodes = int(num_nodes)
 
-        edge_set: Set[Edge] = set()
-        for u, v in edges:
-            u, v = int(u), int(v)
-            if u == v:
-                raise ValueError(f"self-loop ({u}, {v}) is not allowed")
-            if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+        arr = _edges_to_array(edges)
+        if arr.shape[0]:
+            loops = arr[:, 0] == arr[:, 1]
+            if loops.any():
+                u = int(arr[loops][0, 0])
+                raise ValueError(f"self-loop ({u}, {u}) is not allowed")
+            bad = (arr < 0) | (arr >= num_nodes)
+            if bad.any():
+                u, v = (int(x) for x in arr[bad.any(axis=1)][0])
                 raise ValueError(f"edge ({u}, {v}) out of range for N={num_nodes}")
-            edge_set.add(canonical_edge(u, v))
-        self._edges: FrozenSet[Edge] = frozenset(edge_set)
+            lo = np.minimum(arr[:, 0], arr[:, 1])
+            hi = np.maximum(arr[:, 0], arr[:, 1])
+            keys = np.unique(lo * np.int64(self.num_nodes) + hi)
+        else:
+            keys = np.empty(0, dtype=np.int64)
+        self._edge_keys = keys
 
         if features is not None:
             features = np.asarray(features, dtype=np.float64)
@@ -74,7 +101,13 @@ class Graph:
                 raise ValueError(f"labels shape {labels.shape} != ({num_nodes},)")
         self.labels = labels
 
+        self._init_derived()
+
+    def _init_derived(self) -> None:
+        self._edges_view: Optional[FrozenSet[Edge]] = None
+        self._edge_array: Optional[np.ndarray] = None
         self._adj: Optional[sp.csr_matrix] = None
+        self._deg: Optional[np.ndarray] = None
         self.cache: dict = {}
         """Scratch space for derived structures (propagation matrices, ...).
 
@@ -83,16 +116,57 @@ class Graph:
         """
 
     # ------------------------------------------------------------------
+    # Trusted fast constructor
+    # ------------------------------------------------------------------
+    @classmethod
+    def _from_keys(
+        cls,
+        num_nodes: int,
+        keys: np.ndarray,
+        features: Optional[np.ndarray] = None,
+        labels: Optional[np.ndarray] = None,
+    ) -> "Graph":
+        """Unchecked rebuild from sorted, unique, canonical edge keys.
+
+        Internal fast path for rewiring: ``keys`` must already be validated
+        (``u * N + v`` with ``0 <= u < v < N``, strictly increasing).
+        Features and labels are shared, not copied.
+        """
+        g = cls.__new__(cls)
+        g.num_nodes = int(num_nodes)
+        g._edge_keys = keys
+        g.features = features
+        g.labels = labels
+        g._init_derived()
+        return g
+
+    # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
+    def edge_keys(self) -> np.ndarray:
+        """Sorted unique canonical edge keys ``u * N + v`` (read-only)."""
+        return self._edge_keys
+
+    def edge_array(self) -> np.ndarray:
+        """Canonical edges as an ``(E, 2)`` int64 array, lexicographically
+        sorted (equivalent to ``sorted(graph.edges)``)."""
+        if self._edge_array is None:
+            n = np.int64(self.num_nodes)
+            self._edge_array = np.stack(
+                [self._edge_keys // n, self._edge_keys % n], axis=1
+            )
+        return self._edge_array
+
     @property
     def edges(self) -> FrozenSet[Edge]:
-        """The canonical undirected edge set."""
-        return self._edges
+        """The canonical undirected edge set (compatibility view)."""
+        if self._edges_view is None:
+            self._edges_view = frozenset(map(tuple, self.edge_array().tolist()))
+        return self._edges_view
 
     @property
     def num_edges(self) -> int:
-        return len(self._edges)
+        return int(self._edge_keys.shape[0])
 
     @property
     def num_features(self) -> int:
@@ -103,7 +177,12 @@ class Graph:
         return 0 if self.labels is None else int(self.labels.max()) + 1
 
     def has_edge(self, u: int, v: int) -> bool:
-        return canonical_edge(u, v) in self._edges
+        u, v = (u, v) if u < v else (v, u)
+        if not (0 <= u < self.num_nodes and 0 <= v < self.num_nodes):
+            return False
+        key = np.int64(u) * self.num_nodes + v
+        i = int(np.searchsorted(self._edge_keys, key))
+        return i < self._edge_keys.shape[0] and self._edge_keys[i] == key
 
     # ------------------------------------------------------------------
     # Derived structures (cached)
@@ -111,26 +190,40 @@ class Graph:
     def adjacency(self) -> sp.csr_matrix:
         """Symmetric binary adjacency matrix ``A`` (no self-loops)."""
         if self._adj is None:
-            if self._edges:
-                rows, cols = zip(*self._edges)
-                rows, cols = np.array(rows), np.array(cols)
-                data = np.ones(len(rows))
-                upper = sp.coo_matrix(
-                    (data, (rows, cols)), shape=(self.num_nodes, self.num_nodes)
-                )
-                self._adj = (upper + upper.T).tocsr()
+            n = self.num_nodes
+            if self.num_edges:
+                ea = self.edge_array()
+                rows = np.concatenate([ea[:, 0], ea[:, 1]])
+                cols = np.concatenate([ea[:, 1], ea[:, 0]])
+                data = np.ones(rows.shape[0])
+                self._adj = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
             else:
-                self._adj = sp.csr_matrix((self.num_nodes, self.num_nodes))
+                self._adj = sp.csr_matrix((n, n))
         return self._adj
 
     def degrees(self) -> np.ndarray:
         """Node degree vector ``d_v``."""
-        return np.asarray(self.adjacency().sum(axis=1)).ravel().astype(np.int64)
+        if self._deg is None:
+            ea = self.edge_array()
+            self._deg = np.bincount(
+                ea.ravel(), minlength=self.num_nodes
+            ).astype(np.int64)
+        return self._deg
 
     def neighbors(self, v: int) -> np.ndarray:
         """Sorted one-hop neighbour ids ``N1(v)``."""
         adj = self.adjacency()
         return adj.indices[adj.indptr[v] : adj.indptr[v + 1]].astype(np.int64)
+
+    def csr_neighbors(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR ``(indptr, indices)`` of the adjacency, both int64.
+
+        The flat neighbour layout every vectorised kernel consumes:
+        node ``v``'s sorted neighbours are
+        ``indices[indptr[v]:indptr[v + 1]]``.
+        """
+        adj = self.adjacency()
+        return adj.indptr.astype(np.int64), adj.indices.astype(np.int64)
 
     def edge_index(self) -> np.ndarray:
         """Directed edge list of shape ``(2, 2|E|)`` with both orientations.
@@ -149,18 +242,38 @@ class Graph:
         return Graph(self.num_nodes, edges, self.features, self.labels)
 
     def add_edges(self, new_edges: Iterable[Edge]) -> "Graph":
-        """A copy with ``new_edges`` added (self-loops rejected)."""
-        merged = set(self._edges)
-        for u, v in new_edges:
-            if u == v:
-                continue
-            merged.add(canonical_edge(int(u), int(v)))
-        return self.with_edges(merged)
+        """A copy with ``new_edges`` added (self-loops silently skipped)."""
+        arr = _edges_to_array(new_edges)
+        arr = arr[arr[:, 0] != arr[:, 1]]
+        if not arr.shape[0]:
+            return Graph._from_keys(
+                self.num_nodes, self._edge_keys, self.features, self.labels
+            )
+        bad = (arr < 0) | (arr >= self.num_nodes)
+        if bad.any():
+            u, v = (int(x) for x in arr[bad.any(axis=1)][0])
+            raise ValueError(f"edge ({u}, {v}) out of range for N={self.num_nodes}")
+        lo = np.minimum(arr[:, 0], arr[:, 1])
+        hi = np.maximum(arr[:, 0], arr[:, 1])
+        keys = np.union1d(self._edge_keys, lo * np.int64(self.num_nodes) + hi)
+        return Graph._from_keys(self.num_nodes, keys, self.features, self.labels)
 
     def remove_edges(self, gone_edges: Iterable[Edge]) -> "Graph":
         """A copy with ``gone_edges`` removed (absent edges ignored)."""
-        removed = {canonical_edge(int(u), int(v)) for u, v in gone_edges}
-        return self.with_edges(self._edges - removed)
+        arr = _edges_to_array(gone_edges)
+        if arr.shape[0]:
+            # Out-of-range pairs cannot be present, but their lo*N+hi key
+            # could alias a real edge's — drop them before keying.
+            arr = arr[((arr >= 0) & (arr < self.num_nodes)).all(axis=1)]
+        if not arr.shape[0]:
+            return Graph._from_keys(
+                self.num_nodes, self._edge_keys, self.features, self.labels
+            )
+        lo = np.minimum(arr[:, 0], arr[:, 1])
+        hi = np.maximum(arr[:, 0], arr[:, 1])
+        gone = np.unique(lo * np.int64(self.num_nodes) + hi)
+        keys = np.setdiff1d(self._edge_keys, gone, assume_unique=True)
+        return Graph._from_keys(self.num_nodes, keys, self.features, self.labels)
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:
@@ -190,7 +303,7 @@ class Graph:
         )
         return (
             self.num_nodes == other.num_nodes
-            and self._edges == other._edges
+            and np.array_equal(self._edge_keys, other._edge_keys)
             and same_features
             and same_labels
         )

@@ -18,7 +18,7 @@ def save_graph(graph: Graph, path: str) -> str:
     """Write ``graph`` to ``path`` (``.npz`` appended if missing)."""
     if not path.endswith(".npz"):
         path = path + ".npz"
-    edges = np.array(sorted(graph.edges), dtype=np.int64).reshape(-1, 2)
+    edges = graph.edge_array().reshape(-1, 2)
     payload = {
         "num_nodes": np.array([graph.num_nodes], dtype=np.int64),
         "edges": edges,
@@ -48,7 +48,7 @@ def save_edge_list(graph: Graph, path: str) -> str:
     """Write a whitespace-separated ``u v`` edge list (one edge per line)."""
     with open(path, "w") as f:
         f.write(f"# num_nodes={graph.num_nodes}\n")
-        for u, v in sorted(graph.edges):
+        for u, v in graph.edge_array().tolist():
             f.write(f"{u} {v}\n")
     return path
 

@@ -18,7 +18,7 @@ def homophily_ratio(graph: Graph) -> float:
         raise ValueError("homophily ratio requires node labels")
     if graph.num_edges == 0:
         return 0.0
-    edges = np.array(sorted(graph.edges))
+    edges = graph.edge_array()
     same = graph.labels[edges[:, 0]] == graph.labels[edges[:, 1]]
     return float(same.mean())
 

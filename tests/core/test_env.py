@@ -145,3 +145,105 @@ def test_build_observation_ranges():
     assert np.isfinite(entropy_cols).all()
     assert (entropy_cols[:, 0] == 0).all()  # k column at reset
     assert (entropy_cols[:, 2] <= 1.0).all()  # normalised degree
+
+
+# ---------------------------------------------------------------------------
+# Cross-episode semantics and degenerate-graph guards (regression tests)
+# ---------------------------------------------------------------------------
+def test_reset_accumulates_history_across_episodes():
+    """Documented semantics: history and the global step counter survive
+    reset() so one env yields one continuous training log."""
+    env, graph = make_env()
+    n = graph.num_nodes
+    env.reset()
+    env.step(np.ones(2 * n, dtype=int))
+    env.step(np.ones(2 * n, dtype=int))
+    env.reset()
+    assert len(env.history) == 2
+    assert env._steps_total == 2
+    env.step(np.ones(2 * n, dtype=int))
+    assert len(env.history) == 3
+    assert env.history[-1]["step"] == 3  # counter keeps running across episodes
+
+
+def test_clear_history_starts_a_fresh_log():
+    env, graph = make_env()
+    n = graph.num_nodes
+    env.reset()
+    env.step(np.ones(2 * n, dtype=int))
+    env.clear_history()
+    assert env.history == []
+    assert env._steps_total == 0
+    env.step(np.ones(2 * n, dtype=int))
+    assert len(env.history) == 1
+    assert env.history[0]["step"] == 1
+
+
+def test_reset_restores_episode_state():
+    """Per-episode state (k, d, t, current graph) does reset."""
+    env, graph = make_env()
+    n = graph.num_nodes
+    env.reset()
+    env.step(np.full(2 * n, 2))
+    assert env.t == 1
+    env.reset()
+    assert env.t == 0
+    assert (env.k == 0).all() and (env.d == 0).all()
+    assert env.current_graph is graph
+
+
+def test_rewire_memoization_reuses_graph_objects():
+    """Repeated (k, d) states are free: the exact Graph object comes back."""
+    env, graph = make_env()
+    n = graph.num_nodes
+    env.reset()
+    env.step(np.full(2 * n, 2))  # k=d=1 everywhere (clamped)
+    first = env.current_graph
+    misses = env._rewire_misses
+    env.reset()
+    env.step(np.full(2 * n, 2))  # identical state again
+    assert env.current_graph is first
+    assert env._rewire_misses == misses
+    assert env._rewire_hits >= 1
+
+
+def test_build_observation_zero_remote_candidates():
+    """A sequence with zero remote-candidate columns must not divide by 0."""
+    from repro.entropy import EntropySequences
+
+    graph = planted_partition_graph(
+        num_nodes=12, homophily=0.5, feature_signal=0.4, num_features=8, seed=0
+    )
+    n = graph.num_nodes
+    seqs = EntropySequences(
+        remote=np.empty((n, 0), dtype=np.int64),
+        remote_scores=np.empty((n, 0)),
+        neighbors=[graph.neighbors(v) for v in range(n)],
+        neighbor_scores=[np.zeros(len(graph.neighbors(v))) for v in range(n)],
+    )
+    config = RareConfig(k_max=0, d_max=2, max_candidates=1, horizon=2)
+    obs = build_observation(
+        np.zeros(n, dtype=np.int64), np.zeros(n, dtype=np.int64),
+        graph, seqs, config,
+    )
+    assert obs.shape == (n, OBS_DIM)
+    assert np.isfinite(obs).all()
+
+
+def test_build_observation_edgeless_graph():
+    """An edgeless graph (max degree 0, empty neighbour lists) is guarded."""
+    from repro.entropy import RelativeEntropy, build_entropy_sequences
+    from repro.graph import Graph
+
+    rng = np.random.default_rng(0)
+    graph = Graph(8, [], features=rng.standard_normal((8, 4)))
+    entropy = RelativeEntropy.from_graph(graph, lam=1.0)
+    seqs = build_entropy_sequences(graph, entropy, max_candidates=4)
+    config = RareConfig(k_max=2, d_max=2, max_candidates=4, horizon=2)
+    obs = build_observation(
+        np.zeros(8, dtype=np.int64), np.zeros(8, dtype=np.int64),
+        graph, seqs, config,
+    )
+    assert obs.shape == (8, OBS_DIM)
+    assert np.isfinite(obs).all()
+    assert (obs[:, 2] == 0).all()  # degree column is all zero, not NaN

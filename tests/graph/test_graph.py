@@ -102,6 +102,15 @@ def test_remove_absent_edge_is_noop():
     assert g.num_edges == 1
 
 
+def test_remove_out_of_range_edge_is_noop():
+    # (0, 15) is absent, but its key 0*10+15 would alias edge (1, 5)'s
+    # key 1*10+5 if it were not range-filtered before the key diff.
+    g = Graph(10, [(1, 5), (2, 3)]).remove_edges([(0, 15)])
+    assert g.edges == frozenset({(1, 5), (2, 3)})
+    g2 = Graph(10, [(1, 5)]).remove_edges([(-3, 1), (1, 1)])
+    assert g2.edges == frozenset({(1, 5)})
+
+
 def test_with_edges_preserves_features_labels():
     X = np.ones((3, 2))
     y = np.array([0, 1, 0])
