@@ -1,6 +1,6 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test bench-smoke bench-scaling
+.PHONY: test bench-smoke bench-scaling bench-rollout
 
 test:
 	$(PY) -m pytest -x -q
@@ -14,3 +14,9 @@ bench-smoke:
 # Full trajectory including the 20k-node fast-path-only point.
 bench-scaling:
 	$(PY) benchmarks/bench_scaling_rewire.py
+
+# Vectorized rollout collection (VecTopologyEnv) vs the sequential loop at
+# B in {4, 16, 64}; asserts the >= 3x steps/sec contract at B = 16 and
+# writes JSON into bench_results/.
+bench-rollout:
+	$(PY) benchmarks/bench_vec_rollout.py

@@ -51,6 +51,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--d-max", type=int, default=6)
     run.add_argument("--lam", type=float, default=1.0)
     run.add_argument("--rl", default="ppo", choices=["ppo", "a2c", "reinforce"])
+    run.add_argument("--num-envs", type=int, default=1,
+                     help="parallel episodes per rollout; > 1 collects "
+                          "through the vectorized VecTopologyEnv (ppo/a2c)")
     run.add_argument("--splits", type=int, default=1)
 
     rewire = sub.add_parser("rewire", help="static entropy-guided rewiring")
@@ -87,6 +90,7 @@ def cmd_run(args) -> int:
         episodes=args.episodes,
         horizon=args.horizon,
         rl_algorithm=args.rl,
+        num_envs=args.num_envs,
         seed=args.seed,
     )
     base_accs, rare_accs, gains = [], [], []

@@ -3,13 +3,21 @@
 from .ablation import fixed_kd, fixed_kd_grid, random_kd
 from .analysis import RewiringAnalysis, analyze_rewiring, degree_change_report
 from .config import RareConfig
-from .env import OBS_DIM, TopologyEnv, build_observation
+from .env import (
+    OBS_DIM,
+    TopologyEnv,
+    build_observation,
+    fill_observation,
+    observation_template,
+)
 from .framework import GraphRARE, RareResult
 from .rewire import (
     clamp_state,
+    clamp_state_batch,
     edit_distance,
     rewire_graph,
     rewire_graph_reference,
+    state_bounds,
 )
 from .temporal import TemporalGraphRARE, TemporalRareResult, drifting_snapshots
 
@@ -24,7 +32,11 @@ __all__ = [
     "TopologyEnv",
     "build_observation",
     "clamp_state",
+    "clamp_state_batch",
     "edit_distance",
+    "fill_observation",
+    "observation_template",
+    "state_bounds",
     "fixed_kd",
     "fixed_kd_grid",
     "random_kd",

@@ -73,6 +73,15 @@ class RareConfig:
     """Agent hyper-parameters; overlapping fields are translated when a
     non-PPO algorithm is selected (see ``repro.rl.build_agent``)."""
     policy_hidden: int = 64
+    num_envs: int = 1
+    """Parallel episodes per rollout.  ``1`` keeps the sequential
+    :class:`~repro.core.env.TopologyEnv` reference path; ``> 1`` collects
+    trajectories through the vectorized
+    :class:`~repro.rl.vector.VecTopologyEnv` (PPO/A2C only).  Each
+    vectorized iteration completes ``num_envs`` whole episodes, so the
+    effective episode budget rounds :attr:`episodes` *up* to the next
+    multiple of ``num_envs`` (and the per-iteration reward/accuracy curves
+    have ``ceil(episodes / num_envs)`` entries)."""
 
     seed: int = 0
 
@@ -99,3 +108,10 @@ class RareConfig:
             raise ValueError("at least one of add_edges/remove_edges must be on")
         if self.horizon < 1 or self.episodes < 1:
             raise ValueError("horizon and episodes must be >= 1")
+        if self.num_envs < 1:
+            raise ValueError(f"num_envs must be >= 1, got {self.num_envs}")
+        if self.num_envs > 1 and self.rl_algorithm.lower() == "reinforce":
+            raise ValueError(
+                "num_envs > 1 requires an agent with a vectorized rollout "
+                "path (ppo or a2c); reinforce collects sequentially"
+            )

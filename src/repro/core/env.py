@@ -33,19 +33,18 @@ from .rewire import clamp_state, rewire_graph
 OBS_DIM = 6
 
 
-def build_observation(
-    k: np.ndarray,
-    d: np.ndarray,
+def observation_template(
     graph: Graph,
     sequences: EntropySequences,
     config: RareConfig,
 ) -> np.ndarray:
-    """Per-node observation rows for the policy network.
+    """The static ``(N, OBS_DIM)`` part of the observation.
 
-    Each row describes one node: its current ``k_v`` and ``d_v`` (scaled),
-    its degree, how many remote candidates it has, and summary statistics of
-    its entropy sequence — everything the agent needs to reason about the
-    node's "personality".
+    Columns 2-5 (degree, candidate availability, entropy summaries) depend
+    only on the *base* graph and the entropy sequences, never on the MDP
+    state — the batched rollout engine computes them once per environment
+    and rewrites only the ``k``/``d`` columns each step.  Columns 0 and 1
+    are left zeroed (the ``S_0 = 0`` observation).
     """
     deg = graph.degrees().astype(np.float64)
     max_deg = max(deg.max(), 1.0)  # guard: edgeless graphs have max degree 0
@@ -67,14 +66,58 @@ def build_observation(
 
     return np.stack(
         [
-            k / max(config.k_max, 1),
-            d / max(config.d_max, 1),
+            np.zeros(graph.num_nodes),
+            np.zeros(graph.num_nodes),
             deg / max_deg,
             avail / max(sequences.max_candidates, 1),
             top_mean,
             neigh_mean,
         ],
         axis=1,
+    )
+
+
+def fill_observation(
+    template: np.ndarray,
+    k: np.ndarray,
+    d: np.ndarray,
+    config: RareConfig,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Write the dynamic ``k``/``d`` columns into a (copy of a) template.
+
+    ``template`` may be ``(N, OBS_DIM)`` with ``k``/``d`` of shape ``(N,)``,
+    or batched ``(B, N, OBS_DIM)`` with ``(B, N)`` states.  ``out`` lets the
+    caller reuse a preallocated buffer; when ``None`` the template is
+    copied.
+    """
+    if out is None:
+        out = template.copy()
+    else:
+        out[...] = template
+    out[..., 0] = k / max(config.k_max, 1)
+    out[..., 1] = d / max(config.d_max, 1)
+    return out
+
+
+def build_observation(
+    k: np.ndarray,
+    d: np.ndarray,
+    graph: Graph,
+    sequences: EntropySequences,
+    config: RareConfig,
+) -> np.ndarray:
+    """Per-node observation rows for the policy network.
+
+    Each row describes one node: its current ``k_v`` and ``d_v`` (scaled),
+    its degree, how many remote candidates it has, and summary statistics of
+    its entropy sequence — everything the agent needs to reason about the
+    node's "personality".  Composed from :func:`observation_template` (the
+    static columns) and :func:`fill_observation` (the state columns) so the
+    vectorized rollout engine can cache the former.
+    """
+    return fill_observation(
+        observation_template(graph, sequences, config), k, d, config
     )
 
 
@@ -90,6 +133,7 @@ class TopologyEnv(Env):
         split: Split,
         config: RareConfig,
         co_train: bool = True,
+        seed: int | None = None,
     ) -> None:
         self.base_graph = graph
         self.sequences = sequences
@@ -98,6 +142,10 @@ class TopologyEnv(Env):
         self.split = split
         self.config = config
         self.co_train = co_train
+        self.seed(seed)
+        # The static observation columns depend only on the immutable base
+        # graph + sequences; compute them once, fill k/d per step.
+        self._obs_template = observation_template(graph, sequences, config)
 
         n = graph.num_nodes
         self.action_space = MultiDiscreteSpace([3] * (2 * n))
@@ -122,13 +170,34 @@ class TopologyEnv(Env):
         return acc, loss
 
     def _observation(self) -> np.ndarray:
-        return build_observation(
-            self.k, self.d, self.base_graph, self.sequences, self.config
+        return fill_observation(
+            self._obs_template, self.k, self.d, self.config
         )
 
     # ------------------------------------------------------------------
-    def reset(self) -> np.ndarray:
+    def seed(self, seed: int | None = None) -> np.random.Generator:
+        """(Re)seed the environment's own random stream.
+
+        The MDP itself is deterministic, but the env owns a generator for
+        its stochastic companions — :meth:`sample_action`, the shuffled
+        "without relative entropy" ablation, future noisy rewiring — so a
+        run is reproducible from one base seed.  The generator descends
+        from a :class:`numpy.random.SeedSequence`, the same scheme
+        ``VecTopologyEnv`` uses to spawn independent per-episode streams.
+        """
+        self._seed_seq = np.random.SeedSequence(seed)
+        self.rng = np.random.default_rng(self._seed_seq)
+        return self.rng
+
+    def sample_action(self) -> np.ndarray:
+        """A uniformly random action drawn from the env's own stream."""
+        return self.action_space.sample(self.rng)
+
+    def reset(self, seed: int | None = None) -> np.ndarray:
         """Start a new episode: ``S_0 = 0`` on the original topology.
+
+        ``seed`` (optional) reseeds the env's random stream before the
+        episode starts; omitted, the existing stream continues.
 
         Cross-episode semantics (deliberate, relied on by the convergence
         benches): :attr:`history` and the global step counter
@@ -137,6 +206,8 @@ class TopologyEnv(Env):
         a fresh log.  The rewire memo also survives resets because it is
         keyed purely on ``(k, d)`` over the immutable base graph.
         """
+        if seed is not None:
+            self.seed(seed)
         n = self.base_graph.num_nodes
         self.k = np.zeros(n, dtype=np.int64)
         self.d = np.zeros(n, dtype=np.int64)

@@ -138,7 +138,6 @@ class GraphRARE:
         trainer.fit(graph, split, epochs=cfg.co_train_epochs,
                     patience=cfg.co_train_patience)
 
-        env = TopologyEnv(graph, sequences, model, trainer, split, cfg)
         policy = NodePolicy(
             obs_dim=OBS_DIM, hidden=cfg.policy_hidden, rng=rng
         )
@@ -153,19 +152,57 @@ class GraphRARE:
         best_val, _ = evaluate(model, graph, split.val)
         best_graph = graph
 
-        for _ in range(cfg.episodes):
-            buffer = agent.collect_rollout(env, cfg.horizon)
-            stats = agent.update(buffer)
-            episode_rewards.append(stats.mean_reward)
+        if cfg.num_envs > 1:
+            # Vectorized path: each iteration collects num_envs complete
+            # episodes as one batched rollout (the horizon-length vector
+            # rollout ends every episode exactly at the boundary), so the
+            # episode budget rounds up to a multiple of num_envs and the
+            # per-iteration curves have ceil(episodes / num_envs) entries
+            # (documented on RareConfig.num_envs).
+            from ..rl.vector.topology import VecTopologyEnv
 
-            for candidate in (env.current_graph, env.best_graph):
-                val_acc, _ = evaluate(model, candidate, split.val)
-                if val_acc > best_val:
-                    best_val = val_acc
-                    best_graph = candidate
-            val_acc, _ = evaluate(model, env.current_graph, split.val)
-            accuracy_curve.append(val_acc)
-            homophily_curve.append(homophily_ratio(env.current_graph))
+            env = VecTopologyEnv(
+                graph, sequences, model, trainer, split, cfg,
+                num_envs=cfg.num_envs, seed=cfg.seed,
+            )
+            iterations = -(-cfg.episodes // cfg.num_envs)
+            for _ in range(iterations):
+                buffer = agent.collect_vectorized_rollout(env, cfg.horizon)
+                stats = agent.update(buffer)
+                episode_rewards.append(stats.mean_reward)
+
+                # Dedupe by identity (Graph is unhashable): after autoreset
+                # every slot holds the base graph again, so the distinct
+                # candidates are usually just {best_graph, base_graph}.
+                seen_ids = set()
+                for candidate in (env.best_graph, *env.current_graphs):
+                    if id(candidate) in seen_ids:
+                        continue
+                    seen_ids.add(id(candidate))
+                    val_acc, _ = evaluate(model, candidate, split.val)
+                    if val_acc > best_val:
+                        best_val = val_acc
+                        best_graph = candidate
+                lead = env.current_graphs[0]
+                val_acc, _ = evaluate(model, lead, split.val)
+                accuracy_curve.append(val_acc)
+                homophily_curve.append(homophily_ratio(lead))
+        else:
+            env = TopologyEnv(graph, sequences, model, trainer, split, cfg,
+                              seed=cfg.seed)
+            for _ in range(cfg.episodes):
+                buffer = agent.collect_rollout(env, cfg.horizon)
+                stats = agent.update(buffer)
+                episode_rewards.append(stats.mean_reward)
+
+                for candidate in (env.current_graph, env.best_graph):
+                    val_acc, _ = evaluate(model, candidate, split.val)
+                    if val_acc > best_val:
+                        best_val = val_acc
+                        best_graph = candidate
+                val_acc, _ = evaluate(model, env.current_graph, split.val)
+                accuracy_curve.append(val_acc)
+                homophily_curve.append(homophily_ratio(env.current_graph))
 
         # --- final training on the optimised topology ---------------------
         # A fresh model isolates the quality of the *topology*: the

@@ -22,6 +22,24 @@ from ..entropy import EntropySequences
 from ..graph import Graph
 
 
+def state_bounds(
+    graph: Graph,
+    sequences: EntropySequences,
+    k_max: int,
+    d_max: int,
+) -> tuple:
+    """Per-node upper bounds ``(k_bound, d_bound)`` of the feasible state.
+
+    ``k_v`` cannot exceed the number of available remote candidates and
+    ``d_v`` cannot exceed the node's original degree (you cannot delete
+    edges that do not exist).  Both depend only on the immutable base
+    graph, so batched steppers compute them once and reuse them.
+    """
+    avail = (sequences.remote >= 0).sum(axis=1)
+    deg = graph.degrees()
+    return np.minimum(k_max, avail), np.minimum(d_max, deg)
+
+
 def clamp_state(
     k: np.ndarray,
     d: np.ndarray,
@@ -30,16 +48,36 @@ def clamp_state(
     k_max: int,
     d_max: int,
 ) -> tuple:
-    """Clip per-node counts to their feasible ranges.
+    """Clip per-node counts to their feasible ranges (see
+    :func:`state_bounds`)."""
+    k_bound, d_bound = state_bounds(graph, sequences, k_max, d_max)
+    k = np.clip(k, 0, k_bound)
+    d = np.clip(d, 0, d_bound)
+    return k.astype(np.int64), d.astype(np.int64)
 
-    ``k_v`` cannot exceed the number of available remote candidates and
-    ``d_v`` cannot exceed the node's original degree (you cannot delete
-    edges that do not exist).
+
+def clamp_state_batch(
+    k: np.ndarray,
+    d: np.ndarray,
+    graph: Graph,
+    sequences: EntropySequences,
+    k_max: int,
+    d_max: int,
+    bounds: tuple | None = None,
+) -> tuple:
+    """Batched :func:`clamp_state` over ``(B, N)`` state arrays.
+
+    One broadcasted clip against the shared per-node bounds replaces B
+    per-episode calls; row ``b`` of the result is byte-identical to
+    ``clamp_state(k[b], d[b], ...)``.  ``bounds`` optionally supplies a
+    precomputed :func:`state_bounds` pair so per-step callers skip the
+    availability/degree rescan.
     """
-    avail = (sequences.remote >= 0).sum(axis=1)
-    deg = graph.degrees()
-    k = np.clip(k, 0, np.minimum(k_max, avail))
-    d = np.clip(d, 0, np.minimum(d_max, deg))
+    if bounds is None:
+        bounds = state_bounds(graph, sequences, k_max, d_max)
+    k_bound, d_bound = bounds
+    k = np.clip(k, 0, k_bound[None, :])
+    d = np.clip(d, 0, d_bound[None, :])
     return k.astype(np.int64), d.astype(np.int64)
 
 

@@ -1,5 +1,12 @@
 """Deep RL substrate: PPO/A2C/REINFORCE with multi-discrete actions
-(replaces OpenAI Gym + Stable-Baselines3)."""
+(replaces OpenAI Gym + Stable-Baselines3).
+
+The :mod:`repro.rl.vector` subpackage adds the vectorized execution layer:
+batched envs (:class:`VecEnv`, :class:`SyncVecEnv`, ``VecTopologyEnv``),
+preallocated :class:`BatchedRolloutBuffer` storage with batch-axis GAE, and
+the :func:`collect_vectorized_rollout` path PPO/A2C use to collect ``B``
+episodes per rollout in one pass.
+"""
 
 from .a2c import A2C, A2CConfig
 from .buffer import RolloutBuffer
@@ -9,11 +16,18 @@ from .policy import NodePolicy
 from .ppo import PPO, PPOConfig, PPOStats
 from .registry import AGENTS, agent_names, build_agent
 from .reinforce import Reinforce, ReinforceConfig
+from .vector import (
+    BatchedRolloutBuffer,
+    SyncVecEnv,
+    VecEnv,
+    collect_vectorized_rollout,
+)
 
 __all__ = [
     "A2C",
     "A2CConfig",
     "AGENTS",
+    "BatchedRolloutBuffer",
     "Categorical",
     "Env",
     "MultiDiscreteDistribution",
@@ -25,6 +39,19 @@ __all__ = [
     "Reinforce",
     "ReinforceConfig",
     "RolloutBuffer",
+    "SyncVecEnv",
+    "VecEnv",
+    "VecTopologyEnv",
     "agent_names",
     "build_agent",
+    "collect_vectorized_rollout",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy: VecTopologyEnv pulls in repro.core, which imports this package.
+    if name == "VecTopologyEnv":
+        from .vector.topology import VecTopologyEnv
+
+        return VecTopologyEnv
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

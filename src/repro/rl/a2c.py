@@ -3,14 +3,16 @@
 A middle ground between REINFORCE and PPO: a learned critic provides the
 baseline and bootstrapping (via GAE), but the policy update is a single
 unclipped gradient step per rollout.  Shares the rollout/update/learn API
-with :class:`repro.rl.PPO` so the GraphRARE framework can swap agents via
+with :class:`repro.rl.PPO` — including the vectorized collection path over
+:class:`repro.rl.vector.VecEnv` batches and the collection-time truncation
+bootstrap — so the GraphRARE framework can swap agents via
 ``RareConfig.rl_algorithm``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -18,7 +20,17 @@ from ..nn import Adam
 from .buffer import RolloutBuffer
 from .env import Env
 from .policy import NodePolicy
-from .ppo import PPOStats
+from .ppo import (
+    AnyRolloutBuffer,
+    PPOStats,
+    learn_loop,
+    mean_buffer_reward,
+    rollout_advantages,
+    rollout_samples,
+)
+from .vector.base import VecEnv
+from .vector.buffer import BatchedRolloutBuffer
+from .vector.rollout import collect_vectorized_rollout
 
 
 @dataclass
@@ -56,29 +68,43 @@ class A2C:
             gamma=self.config.gamma, gae_lambda=self.config.gae_lambda
         )
         obs = env.reset()
+        done = False
         for _ in range(num_steps):
             action, log_prob, value = self.policy.act(obs, self.rng)
             next_obs, reward, done, _ = env.step(action)
             buffer.add(obs, action, reward, value, log_prob, done)
             obs = env.reset() if done else next_obs
         self._last_obs = obs
+        buffer.set_bootstrap(
+            obs, 0.0 if done else self.policy.value(obs).item()
+        )
         return buffer
 
-    def update(self, buffer: RolloutBuffer) -> PPOStats:
+    def collect_vectorized_rollout(
+        self, venv: VecEnv, num_steps: int
+    ) -> BatchedRolloutBuffer:
+        """Batched collection: ``num_steps * B`` transitions in one pass."""
+        return collect_vectorized_rollout(
+            self.policy,
+            venv,
+            num_steps,
+            self.rng,
+            gamma=self.config.gamma,
+            gae_lambda=self.config.gae_lambda,
+        )
+
+    def update(self, buffer: AnyRolloutBuffer) -> PPOStats:
         """One joint actor-critic gradient step over the rollout."""
         cfg = self.config
-        if buffer.dones and buffer.dones[-1]:
-            last_value = 0.0
-        else:
-            last_value = self.policy.value(self._last_obs).item()
-        advantages, returns = buffer.compute_advantages(last_value)
+        advantages, returns = rollout_advantages(buffer)
         if cfg.normalize_advantages and len(advantages) > 1:
             advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+        observations, actions, _ = rollout_samples(buffer)
 
         policy_losses, value_losses, entropies = [], [], []
         for idx in range(len(buffer)):
             log_prob, entropy, value = self.policy.evaluate_actions(
-                buffer.observations[idx], buffer.actions[idx]
+                observations[idx], actions[idx]
             )
             policy_loss = -log_prob * advantages[idx]
             value_err = value - returns[idx]
@@ -96,7 +122,7 @@ class A2C:
             entropies.append(entropy.item())
 
         stats = PPOStats(
-            mean_reward=float(np.mean(buffer.rewards)),
+            mean_reward=mean_buffer_reward(buffer),
             policy_loss=float(np.mean(policy_losses)),
             value_loss=float(np.mean(value_losses)),
             entropy=float(np.mean(entropies)),
@@ -116,11 +142,12 @@ class A2C:
             for p in params:
                 p.grad *= scale
 
-    def learn(self, env: Env, total_steps: int, rollout_steps: int = 16):
-        collected = 0
-        while collected < total_steps:
-            steps = min(rollout_steps, total_steps - collected)
-            buffer = self.collect_rollout(env, steps)
-            self.update(buffer)
-            collected += steps
-        return self.history
+    def learn(
+        self,
+        env: Union[Env, VecEnv],
+        total_steps: int,
+        rollout_steps: int = 16,
+    ):
+        """Alternate collection and updates; accepts plain or batched envs
+        (see :meth:`PPO.learn`)."""
+        return learn_loop(self, env, total_steps, rollout_steps)

@@ -1,9 +1,14 @@
-"""Rollout storage with Generalised Advantage Estimation."""
+"""Rollout storage with Generalised Advantage Estimation.
+
+The batched twin — preallocated ``(T, B, ...)`` storage with GAE vectorized
+over the batch axis — lives in :mod:`repro.rl.vector.buffer`; its per-episode
+results are byte-identical to this buffer's.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -20,6 +25,23 @@ class RolloutBuffer:
     values: List[float] = field(default_factory=list)
     log_probs: List[float] = field(default_factory=list)
     dones: List[bool] = field(default_factory=list)
+    last_obs: Optional[np.ndarray] = None
+    """Observation following the final stored transition (set by the
+    collectors; ``None`` for hand-built buffers)."""
+    last_value: Optional[float] = None
+    """Truncation bootstrap: the value estimate of :attr:`last_obs` at
+    collection time, zero when the final transition ended an episode.
+    ``None`` means no bootstrap was recorded (hand-built buffer)."""
+
+    def set_bootstrap(self, last_obs: np.ndarray, last_value: float) -> None:
+        """Record the truncation bootstrap at collection time.
+
+        A rollout cut mid-episode must bootstrap the unfinished return from
+        the value net; storing it here (instead of recomputing at update
+        time from agent-private state) makes the buffer self-contained.
+        """
+        self.last_obs = np.asarray(last_obs)
+        self.last_value = float(last_value)
 
     def add(
         self,
@@ -50,6 +72,8 @@ class RolloutBuffer:
             self.dones,
         ):
             lst.clear()
+        self.last_obs = None
+        self.last_value = None
 
     def compute_advantages(self, last_value: float = 0.0) -> tuple:
         """GAE(lambda) advantages and discounted returns.

@@ -54,7 +54,10 @@ class Env:
 
     Observations are arrays of shape ``(num_components_over_2?, features)``
     defined by the concrete environment; ``step`` returns
-    ``(obs, reward, done, info)``.
+    ``(obs, reward, done, info)``.  Environments with internal randomness
+    should accept an optional ``seed`` keyword on ``reset`` (gym-style) so
+    the vectorized wrappers in :mod:`repro.rl.vector` can hand each episode
+    an independent spawned stream.
     """
 
     action_space: MultiDiscreteSpace

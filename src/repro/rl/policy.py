@@ -90,3 +90,64 @@ class NodePolicy(Module):
         """Differentiable ``(log_prob, entropy, value)`` for a PPO update."""
         dist = self.distribution(obs)
         return dist.log_prob(action), dist.entropy(), self.value(obs)
+
+    # ------------------------------------------------------------------
+    # Batched rollout path (repro.rl.vector): one trunk pass over all
+    # B * N node rows, one uniform draw over all 2 * B * N components.
+    # ------------------------------------------------------------------
+    def _batched_logits(self, obs_batch: np.ndarray) -> Tuple[Tensor, Tensor]:
+        """``(logits, node_values)`` for a ``(B, N, obs_dim)`` batch.
+
+        ``logits`` has shape ``(2 * B * N, num_choices)`` in per-env order
+        — env ``b``'s ``k``-bank rows, then its ``d``-bank rows — the same
+        layout :meth:`distribution` uses per env, so with ``B = 1`` the
+        logits tensor is identical to the single-env one.
+        """
+        obs_batch = np.asarray(obs_batch, dtype=np.float64)
+        if obs_batch.ndim != 3 or obs_batch.shape[2] != self.obs_dim:
+            raise ValueError(
+                f"batched observation must be (B, N, {self.obs_dim}), "
+                f"got {obs_batch.shape}"
+            )
+        b, n, _ = obs_batch.shape
+        feats = ops.tanh(self.trunk(Tensor(obs_batch.reshape(b * n, -1))))
+        stacked = ops.concat([self.k_head(feats), self.d_head(feats)], axis=0)
+        # Interleave [env0 k-rows, env0 d-rows, env1 k-rows, ...]: the
+        # k rows of env b sit at [b*n, (b+1)*n), its d rows at b*n + B*n.
+        idx = (
+            np.arange(b)[:, None, None] * n
+            + np.array([0, b * n])[None, :, None]
+            + np.arange(n)[None, None, :]
+        ).reshape(-1)
+        return ops.gather_rows(stacked, idx), self.value_head(feats)
+
+    def act_batch(
+        self, obs_batch: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample one action per env; ``(actions, log_probs, values)``.
+
+        ``actions`` is ``(B, 2N)`` int, ``log_probs`` and ``values`` are
+        ``(B,)`` floats.  With ``B = 1`` the rng consumption (one
+        ``rng.random((2N, 1))`` draw) and every returned number are
+        byte-identical to :meth:`act` — the vectorized collection path is a
+        drop-in twin of the sequential one.
+        """
+        b = obs_batch.shape[0]
+        n = obs_batch.shape[1]
+        logits, node_values = self._batched_logits(obs_batch)
+        log_probs = ops.log_softmax(logits, axis=-1).data
+        probs = np.exp(log_probs)
+        cdf = probs.cumsum(axis=-1)
+        u = rng.random((probs.shape[0], 1))
+        actions = (u > cdf).sum(axis=-1).astype(np.int64)
+        picked = log_probs[np.arange(actions.shape[0]), actions]
+        joint_log_probs = picked.reshape(b, 2 * n).sum(axis=-1)
+        values = node_values.data.reshape(b, n).mean(axis=1)
+        return actions.reshape(b, 2 * n), joint_log_probs, values
+
+    def value_batch(self, obs_batch: np.ndarray) -> np.ndarray:
+        """Per-env state values ``(B,)`` for a ``(B, N, obs_dim)`` batch."""
+        obs_batch = np.asarray(obs_batch, dtype=np.float64)
+        b, n = obs_batch.shape[0], obs_batch.shape[1]
+        feats = ops.tanh(self.trunk(Tensor(obs_batch.reshape(b * n, -1))))
+        return self.value_head(feats).data.reshape(b, n).mean(axis=1)

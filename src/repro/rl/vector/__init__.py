@@ -1,0 +1,38 @@
+"""Vectorized rollout subsystem: batched envs + batched GAE storage.
+
+Public surface:
+
+* :class:`VecEnv` — the batched step/reset/autoreset contract.
+* :class:`SyncVecEnv` — reference twin: B plain envs stepped in a loop.
+* :class:`VecTopologyEnv` — the batched GraphRARE topology MDP (shared
+  base CSR, cross-env rewire memo, stacked reward evaluation).
+* :class:`BatchedRolloutBuffer` — preallocated ``(T, B, ...)`` storage
+  with vectorized GAE over the batch axis.
+* :func:`collect_vectorized_rollout` — the collection loop PPO/A2C use.
+
+``VecTopologyEnv`` is exported lazily: it depends on :mod:`repro.core`,
+which itself imports :mod:`repro.rl` — deferring the import keeps the
+package graph acyclic while ``from repro.rl.vector import VecTopologyEnv``
+still works.
+"""
+
+from .base import VecEnv
+from .buffer import BatchedRolloutBuffer
+from .rollout import collect_vectorized_rollout
+from .sync import SyncVecEnv
+
+__all__ = [
+    "BatchedRolloutBuffer",
+    "SyncVecEnv",
+    "VecEnv",
+    "VecTopologyEnv",
+    "collect_vectorized_rollout",
+]
+
+
+def __getattr__(name: str):
+    if name == "VecTopologyEnv":
+        from .topology import VecTopologyEnv
+
+        return VecTopologyEnv
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
