@@ -1,6 +1,6 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test bench-smoke bench-scaling bench-rollout
+.PHONY: test bench-smoke bench-scaling bench-rollout bench-entropy
 
 test:
 	$(PY) -m pytest -x -q
@@ -20,3 +20,9 @@ bench-scaling:
 # writes JSON into bench_results/.
 bench-rollout:
 	$(PY) benchmarks/bench_vec_rollout.py
+
+# Screen-then-rescore entropy engine vs the dense tiled builder at
+# N in {5k, 20k}; verifies exact top-k recall, asserts the >= 5x speedup
+# contract at N = 20k, and writes JSON into bench_results/.
+bench-entropy:
+	$(PY) benchmarks/bench_entropy_screening.py

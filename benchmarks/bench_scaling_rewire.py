@@ -23,6 +23,7 @@ CLI (used by ``make bench-smoke``, < 60 s):
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -155,7 +156,16 @@ def print_report(results) -> None:
 
 def check_contract(results) -> None:
     """Assert the >= 5x combined speedup wherever the reference was timed
-    at the contract size."""
+    at the contract size.
+
+    ``BENCH_SKIP_CONTRACT=1`` reports timings without gating on them —
+    shared CI runners are throttled and noisy enough that a wall-clock
+    ratio should not fail a build there (the JSON artifact still records
+    it); the contract stays enforced on dev machines and in the tier-1
+    ``slow`` test.
+    """
+    if os.environ.get("BENCH_SKIP_CONTRACT"):
+        return
     for r in results:
         if r["n"] == TARGET_N and "combined_speedup" in r:
             assert r["combined_speedup"] >= TARGET_SPEEDUP, (

@@ -38,6 +38,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="graph shrink factor (default 0.1)")
         p.add_argument("--seed", type=int, default=0)
 
+    def add_entropy_engine_args(p):
+        p.add_argument("--screening", default="auto",
+                       choices=["auto", "on", "off"],
+                       help="entropy candidate engine: certified "
+                            "screen-then-rescore (on), dense tiled kernel "
+                            "(off), or size-based auto (default)")
+        p.add_argument("--num-workers", type=int, default=1,
+                       help="worker-pool width for the sharded entropy "
+                            "build (results are byte-identical for every "
+                            "worker count)")
+
     info = sub.add_parser("info", help="print dataset statistics")
     add_dataset_args(info)
 
@@ -55,6 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="parallel episodes per rollout; > 1 collects "
                           "through the vectorized VecTopologyEnv (ppo/a2c)")
     run.add_argument("--splits", type=int, default=1)
+    add_entropy_engine_args(run)
 
     rewire = sub.add_parser("rewire", help="static entropy-guided rewiring")
     add_dataset_args(rewire)
@@ -62,6 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
     rewire.add_argument("--d", type=int, default=1)
     rewire.add_argument("--lam", type=float, default=1.0)
     rewire.add_argument("--out", default=None, help="save rewired graph (.npz)")
+    add_entropy_engine_args(rewire)
     return parser
 
 
@@ -91,6 +104,8 @@ def cmd_run(args) -> int:
         horizon=args.horizon,
         rl_algorithm=args.rl,
         num_envs=args.num_envs,
+        screening=args.screening,
+        num_workers=args.num_workers,
         seed=args.seed,
     )
     base_accs, rare_accs, gains = [], [], []
@@ -117,7 +132,8 @@ def cmd_rewire(args) -> int:
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     entropy = RelativeEntropy.from_graph(graph, lam=args.lam)
     sequences = build_entropy_sequences(
-        graph, entropy, max_candidates=max(8, args.k)
+        graph, entropy, max_candidates=max(8, args.k),
+        screening=args.screening, num_workers=args.num_workers,
     )
     n = graph.num_nodes
     k = np.minimum(args.k, (sequences.remote >= 0).sum(axis=1))

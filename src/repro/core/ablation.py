@@ -37,7 +37,12 @@ def _sequences_for(
         structural_mode=config.structural_mode,
     )
     return build_entropy_sequences(
-        graph, entropy, max_candidates=config.max_candidates, rng=rng
+        graph,
+        entropy,
+        max_candidates=config.max_candidates,
+        rng=rng,
+        screening=config.screening,
+        num_workers=config.num_workers,
     )
 
 

@@ -29,6 +29,15 @@ class RareConfig:
     """Remote candidates retained per node in the entropy sequence."""
     max_profile_len: int | None = 64
     """Truncation of degree profiles (Eq. 5) on heavy-tailed graphs."""
+    screening: str = "auto"
+    """Candidate engine for the entropy-sequence build: ``"off"`` scores
+    every pair with the dense tiled kernel, ``"on"`` the certified
+    screen-then-rescore engine (same rankings away from exact value ties,
+    an order of magnitude faster at large N), ``"auto"`` switches the
+    screen on from :data:`repro.entropy.SCREEN_AUTO_MIN` nodes."""
+    num_workers: int = 1
+    """Worker-pool width for the sharded entropy build; every worker count
+    returns byte-identical sequences (row-range merge)."""
 
     # --- topology optimisation (Sec. IV-B) ----------------------------
     k_max: int = 8
@@ -97,6 +106,14 @@ class RareConfig:
             )
         if self.reward not in ("acc_loss", "auc"):
             raise ValueError(f"unknown reward {self.reward!r}")
+        if self.screening not in ("auto", "on", "off"):
+            raise ValueError(
+                f"screening must be 'auto', 'on' or 'off', got {self.screening!r}"
+            )
+        if self.num_workers < 1:
+            raise ValueError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
         from ..rl import AGENTS
 
         if self.rl_algorithm.lower() not in AGENTS:

@@ -82,6 +82,8 @@ class GraphRARE:
             max_candidates=self.config.max_candidates,
             rng=rng,
             shuffle=shuffle,
+            screening=self.config.screening,
+            num_workers=self.config.num_workers,
         )
         return sequences, time.perf_counter() - start
 

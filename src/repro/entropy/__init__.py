@@ -8,8 +8,17 @@ from .feature_entropy import (
     log_pair_normalizer,
 )
 from .relative_entropy import RelativeEntropy, class_pair_entropy
+from .screening import (
+    SCREEN_AUTO_MIN,
+    EntropyShardPlan,
+    PairEntropyScorer,
+    feature_logit_threshold,
+    run_sharded,
+    select_topk_flat,
+)
 from .sequence import (
     EntropySequences,
+    assert_rankings_match,
     build_entropy_sequences,
     build_entropy_sequences_reference,
 )
@@ -23,11 +32,17 @@ from .structural_entropy import (
     structural_entropy_matrix,
     structural_entropy_pairs,
     structural_entropy_row,
+    symmetric_kl_divergence_block,
+    symmetric_kl_divergence_pairs,
 )
 
 __all__ = [
+    "SCREEN_AUTO_MIN",
     "EntropySequences",
+    "EntropyShardPlan",
+    "PairEntropyScorer",
     "RelativeEntropy",
+    "assert_rankings_match",
     "build_entropy_sequences",
     "build_entropy_sequences_reference",
     "class_pair_entropy",
@@ -37,12 +52,17 @@ __all__ = [
     "entropy_from_logits",
     "feature_entropy_matrix",
     "feature_entropy_pairs",
+    "feature_logit_threshold",
     "js_divergence",
     "js_divergence_block",
     "kl_divergence",
     "kl_divergence_block",
     "log_pair_normalizer",
+    "run_sharded",
+    "select_topk_flat",
     "structural_entropy_matrix",
     "structural_entropy_pairs",
     "structural_entropy_row",
+    "symmetric_kl_divergence_block",
+    "symmetric_kl_divergence_pairs",
 ]

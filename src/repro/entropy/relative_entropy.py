@@ -18,8 +18,8 @@ from .structural_entropy import (
     degree_profiles,
     js_divergence,
     js_divergence_block,
-    kl_divergence,
-    kl_divergence_block,
+    symmetric_kl_divergence_block,
+    symmetric_kl_divergence_pairs,
 )
 
 
@@ -110,7 +110,8 @@ class RelativeEntropy:
     def _structural_divergence(self, p, q) -> np.ndarray:
         if self.structural_mode == "kl":
             # Symmetrised raw KL, as in [50]; unbounded above.
-            return 0.5 * (kl_divergence(p, q) + kl_divergence(q, p))
+            out = symmetric_kl_divergence_pairs(p, q)
+            return out.reshape(()) if np.ndim(p) == 1 and np.ndim(q) == 1 else out
         return js_divergence(p, q)
 
     def _structural_divergence_block(
@@ -118,11 +119,7 @@ class RelativeEntropy:
     ) -> np.ndarray:
         """Pairwise divergence between block ``P`` (B, M) and all of ``Q``."""
         if self.structural_mode == "kl":
-            P3 = np.maximum(P[:, None, :], 1e-12)
-            Q3 = Q[None, :, :]
-            with np.errstate(divide="ignore", invalid="ignore"):
-                kl_qp = np.where(Q3 > 0, Q3 * np.log2(Q3 / P3), 0.0).sum(axis=-1)
-            return 0.5 * (kl_divergence_block(P, Q) + kl_qp)
+            return symmetric_kl_divergence_block(P, Q)
         return js_divergence_block(P, Q)
 
     def structural_row(self, v: int) -> np.ndarray:
@@ -170,17 +167,38 @@ class RelativeEntropy:
 
 
 def class_pair_entropy(
-    entropy: RelativeEntropy, labels: np.ndarray, block: int = 256
+    entropy: RelativeEntropy,
+    labels: np.ndarray,
+    block: int = 256,
+    num_classes: Optional[int] = None,
 ) -> np.ndarray:
     """Mean relative entropy per (class, class) pair — the Fig. 8 heatmap.
 
     Fully batched: each block of ``H`` rows is reduced with one matmul
     against the class-membership one-hot matrix; trivial self pairs are
     excluded exactly as in the per-node definition.
+
+    Label arrays may have gaps (e.g. ids ``{0, 2}`` with no node of class
+    1): cells involving an empty class have no pairs to average and come
+    back as ``NaN`` instead of a silently misleading ``0.0``.  Labels must
+    be non-negative integers of shape ``(N,)``; ``num_classes`` optionally
+    widens the heatmap beyond ``labels.max() + 1``.
     """
     labels = np.asarray(labels)
     n = entropy.num_nodes
-    num_classes = int(labels.max()) + 1
+    if labels.shape != (n,):
+        raise ValueError(f"labels shape {labels.shape} != ({n},)")
+    if not np.issubdtype(labels.dtype, np.integer):
+        raise ValueError(f"labels must be integers, got dtype {labels.dtype}")
+    if labels.size and labels.min() < 0:
+        raise ValueError(f"labels must be non-negative, got {labels.min()}")
+    derived = int(labels.max()) + 1 if labels.size else 0
+    if num_classes is None:
+        num_classes = derived
+    elif num_classes < derived:
+        raise ValueError(
+            f"num_classes ({num_classes}) < labels.max() + 1 ({derived})"
+        )
     onehot = np.zeros((n, num_classes))
     onehot[np.arange(n), labels] = 1.0
     class_sizes = np.bincount(labels, minlength=num_classes).astype(np.float64)
@@ -196,5 +214,7 @@ def class_pair_entropy(
         np.add.at(sums, (lab, lab), -diag)
 
     counts = np.outer(class_sizes, class_sizes) - np.diag(class_sizes)
-    counts[counts == 0] = 1.0
-    return sums / counts
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = sums / counts
+    out[counts == 0] = np.nan
+    return out

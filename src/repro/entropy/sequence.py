@@ -15,17 +15,28 @@ for the DRL's ``k`` range.
 Ranking ties are broken deterministically by ascending node id in both
 directions, so the sequences are a pure function of the entropy values.
 
-The default builder is fully vectorised.  Neighbour rankings come from one
-exact pairwise-entropy pass over the CSR edge list plus a single flat
-``lexsort``.  Remote rankings are built from batched entropy rows; for the
-paper's JS mode the structural term uses a tiled kernel that processes
-nodes in descending profile-length order, truncates every tile at the
-longest nonzero profile it can see (padding columns are handled by
-precomputed suffix sums), and reuses contiguous scratch buffers so numpy's
-SIMD loops stay hot — about an order of magnitude faster than broadcasting
-the naive JS formula.  Candidate selection replaces full row sorts with a
-``partition`` threshold plus an exact tie-respecting ``lexsort`` of the few
-surviving candidates.
+The default builder is fully vectorised and comes in two engines, both
+executed as row-range shards on an optional worker pool (see
+:mod:`repro.entropy.screening`):
+
+* the *dense* engine scores every pair with a length-sorted tiled
+  structural kernel — nodes are processed in descending profile-length
+  order, every tile truncates at the longest nonzero profile it can see
+  (padding columns collapse to precomputed suffix sums), and contiguous
+  scratch buffers keep numpy's SIMD loops hot.  The kernel is
+  parameterised over the divergence, so the paper's JS mode and the
+  symmetrised-KL ablation share one code path (KL's cross term even
+  reduces to two GEMMs over clamped log-profiles);
+* the *screened* engine (default from ``SCREEN_AUTO_MIN`` nodes) prunes
+  the ``O(N^2 L)`` structural work with the certified bound
+  ``H <= H_f + lam * hs_max`` evaluated in feature-logit space, then
+  rescores only the surviving superset exactly — identical rankings away
+  from exact value ties at a fraction of the cost.
+
+Neighbour rankings come from one exact pairwise-entropy pass over the CSR
+edge list plus a single flat ``lexsort``.  Candidate selection replaces
+full row sorts with a ``partition`` threshold plus an exact tie-respecting
+``lexsort`` of the few surviving candidates.
 
 The seed's per-node loop survives as
 :func:`build_entropy_sequences_reference` for the equivalence property
@@ -45,11 +56,20 @@ import numpy as np
 
 from ..graph import Graph
 from .relative_entropy import RelativeEntropy
-
-#: Clamp for ``log2`` inputs in the tiled JS kernel.  Padding zeros become
-#: ``log2(_TINY) * 0 == -0.0`` — exactly zero contribution — while any real
-#: profile value (>= 1/sum(degrees) >> 1e-300) passes through unchanged.
-_TINY = 1e-300
+from .screening import (
+    SCREEN_DEFAULT_SHARDS,
+    _KL_EPS,
+    _TINY,
+    SCREEN_AUTO_MIN,
+    EntropyShardPlan,
+    PairEntropyScorer,
+    _plogp,
+    _suffix_sums,
+    build_screen_state,
+    run_sharded,
+    screen_shard,
+    select_topk_flat,
+)
 
 
 @dataclass
@@ -117,17 +137,53 @@ class EntropySequences:
         return self.neighbor_indptr, self.flat_neighbors
 
 
+def assert_rankings_match(
+    fast: "EntropySequences", ref: "EntropySequences", gap: float = 1e-9
+) -> int:
+    """Assert two builds' remote rankings agree away from exact value ties.
+
+    The shared equivalence definition behind the fast-vs-reference and
+    screened-vs-dense property tests and the screening benchmark's recall
+    check: per row, the same finite pattern, scores within ``gap``, and
+    identical candidate ids at every strictly separated rank.  Positions
+    whose score is within ``gap`` of a neighbouring rank may legitimately
+    resolve to a different — equally correct — candidate under a different
+    float summation order, so they are excluded; the last filled slot of a
+    *full* row is excluded too, since its score can tie with the first
+    candidate *beyond* ``max_candidates`` (which ``remote_scores`` does
+    not store).  Returns the number of strictly separated positions
+    compared.
+    """
+    mc = fast.max_candidates
+    compared = 0
+    for v in range(fast.num_nodes):
+        fs, rs = fast.remote_scores[v], ref.remote_scores[v]
+        finite = np.isfinite(fs)
+        np.testing.assert_array_equal(
+            finite, np.isfinite(rs), err_msg=f"row {v}: pad mismatch"
+        )
+        np.testing.assert_allclose(
+            fs[finite], rs[finite], atol=gap,
+            err_msg=f"row {v}: scores diverge beyond the tie gap",
+        )
+        vals = rs[finite]
+        sep = np.ones(len(vals), dtype=bool)
+        if len(vals) > 1:
+            strict = -np.diff(vals) > gap  # descending with a clear margin
+            sep[1:] &= strict
+            sep[:-1] &= strict
+        if len(vals) == mc:
+            sep[-1] = False  # boundary slot may tie with excluded ranks
+        assert (fast.remote[v][finite][sep] == ref.remote[v][finite][sep]).all(), (
+            f"row {v}: ranking mismatch at separated scores"
+        )
+        compared += int(sep.sum())
+    return compared
+
+
 # ---------------------------------------------------------------------------
 # Vectorised building blocks
 # ---------------------------------------------------------------------------
-def _plogp(x: np.ndarray) -> np.ndarray:
-    """Elementwise ``x * log2(x)`` with the ``0 log 0 = 0`` convention."""
-    out = np.zeros_like(x)
-    np.log2(x, out=out, where=x > 0)
-    out *= x
-    return out
-
-
 def _select_remote_block(
     masked: np.ndarray, col_ids: Optional[np.ndarray], mc: int
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -141,28 +197,19 @@ def _select_remote_block(
     Returns ``(ids, scores)`` of shape ``(B, mc)`` padded with -1 / -inf.
     """
     b, n = masked.shape
-    out_ids = np.full((b, mc), -1, dtype=np.int64)
-    out_scores = np.full((b, mc), -np.inf)
     if n == 0 or mc == 0:
-        return out_ids, out_scores
+        return (
+            np.full((b, mc), -1, dtype=np.int64),
+            np.full((b, mc), -np.inf),
+        )
     kth = min(mc, n) - 1
     thresh = -np.partition(-masked, kth, axis=1)[:, kth]
     cand = masked >= thresh[:, None]
     cand &= np.isfinite(masked)
     r, c = np.nonzero(cand)
-    if not r.shape[0]:
-        return out_ids, out_scores
     scores = masked[r, c]
     ids = col_ids[c] if col_ids is not None else c
-    order = np.lexsort((ids, -scores, r))
-    r, ids, scores = r[order], ids[order], scores[order]
-    counts = np.bincount(r, minlength=b)
-    offsets = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1]])
-    rank = np.arange(r.shape[0]) - offsets[r]
-    keep = rank < mc
-    out_ids[r[keep], rank[keep]] = ids[keep]
-    out_scores[r[keep], rank[keep]] = scores[keep]
-    return out_ids, out_scores
+    return select_topk_flat(r, ids, scores, b, mc)
 
 
 def _build_from_rows(graph: Graph, rows_fn, max_candidates: int,
@@ -211,117 +258,332 @@ def _build_from_rows(graph: Graph, rows_fn, max_candidates: int,
     )
 
 
-def _build_sorted_js(
+@dataclass
+class _SortedState:
+    """Length-sorted tiled-kernel state shared by every dense shard worker.
+
+    Everything is a plain array (picklable), so the same payload drives
+    thread and process pools; workers only read it.
+    """
+
+    mode: str
+    n: int
+    m_prof: int
+    mc: int
+    block_size: int
+    tile_size: int
+    lam: float
+    log_den: float
+    inv_scale: float
+    perm: np.ndarray
+    iperm: np.ndarray
+    Pp: np.ndarray
+    Ls: np.ndarray
+    S: np.ndarray
+    Zp: np.ndarray
+    indptr: np.ndarray
+    indices: np.ndarray
+    T: Optional[np.ndarray] = None   # js: suffix sums of f(p / 2)
+    L2: Optional[np.ndarray] = None  # kl: log2(max(p, eps)), permuted
+    PS: Optional[np.ndarray] = None  # kl: suffix sums of p, permuted
+
+
+def _sorted_state(
     graph: Graph,
     entropy: RelativeEntropy,
     max_candidates: int,
-    block_size: int = 64,
-    tile_size: int = 1024,
-) -> EntropySequences:
-    """JS-mode fast path: length-sorted tiled structural kernel.
+    block_size: int,
+    tile_size: int,
+    scorer: Optional[PairEntropyScorer] = None,
+) -> _SortedState:
+    """Precompute the permuted structural/feature state once per build.
 
-    Nodes are processed in descending nonzero-profile-length order so every
-    (row block, column tile) pair can truncate the JS sum at
-    ``K = min(block max length, tile max length)`` columns; the dropped
-    columns, where one side of the pair is all padding, collapse to
-    precomputed suffix sums via ``f((p + 0) / 2) = f(p / 2)``.  Scratch
-    buffers are carved from flat preallocations so every inner op runs on
-    contiguous memory.
+    ``scorer`` (when the caller already built one for neighbour ranking)
+    donates its per-node ``lengths``/``S`` reductions; only the suffix-sum
+    arrays are rebuilt here, because the tiled kernel needs them unfolded
+    and C-ordered in permuted row order while the scorer keeps a folded
+    Fortran-order layout for strided per-pair gathers.
     """
     n = graph.num_nodes
-    mc = max_candidates
     indptr, indices = graph.csr_neighbors()
-
-    # --- one-hop neighbours: exact pairwise entropy on the edge list -----
-    total = int(indptr[-1])
-    rows_flat = np.repeat(np.arange(n), np.diff(indptr))
-    if total:
-        pair_vals = entropy.pairs(np.stack([rows_flat, indices], axis=1))
-    else:
-        pair_vals = np.empty(0)
-    perm_n = np.lexsort((pair_vals, rows_flat))
-    flat_ids = indices[perm_n]
-    flat_scores = pair_vals[perm_n]
-
-    # --- permuted structural state ---------------------------------------
     P = entropy.profiles
     m_prof = P.shape[1]
-    lengths = (P > 0).sum(axis=1)
+    lengths = (
+        scorer.lengths if scorer is not None else (P > 0).sum(axis=1)
+    )
     perm = np.argsort(-lengths, kind="stable")
     iperm = np.empty(n, dtype=np.int64)
     iperm[perm] = np.arange(n)
     Pp = np.ascontiguousarray(P[perm])
-    Ls = lengths[perm]
-    S = _plogp(Pp).sum(axis=1)
-    T = np.zeros((n, m_prof + 1))
-    T[:, :m_prof] = np.cumsum(_plogp(Pp / 2)[:, ::-1], axis=1)[:, ::-1]
-    Zp = np.ascontiguousarray(entropy.Z[perm])
+    state = _SortedState(
+        mode=entropy.structural_mode,
+        n=n,
+        m_prof=m_prof,
+        mc=max_candidates,
+        block_size=block_size,
+        tile_size=tile_size,
+        lam=entropy.lam,
+        log_den=entropy.log_denominator,
+        inv_scale=1.0 / entropy.feature_scale,
+        perm=perm,
+        iperm=iperm,
+        Pp=Pp,
+        Ls=lengths[perm],
+        S=scorer.S[perm] if scorer is not None else _plogp(Pp).sum(axis=1),
+        Zp=np.ascontiguousarray(entropy.Z[perm]),
+        indptr=indptr,
+        indices=indices,
+    )
+    if entropy.structural_mode == "kl":
+        state.L2 = np.log2(np.maximum(Pp, _KL_EPS))
+        state.PS = _suffix_sums(Pp)
+    else:
+        state.T = _suffix_sums(_plogp(Pp / 2))
+    return state
 
-    lam = entropy.lam
-    log_den = entropy.log_denominator
-    inv_scale = 1.0 / entropy.feature_scale
+
+def _sorted_divergence_block(
+    state: _SortedState,
+    Hb: np.ndarray,
+    start: int,
+    stop: int,
+    tiles,
+    buf_t: np.ndarray,
+    buf_l: np.ndarray,
+) -> None:
+    """Fill ``Hb`` with the structural divergence of block ``start:stop``
+    against all columns (both in permuted order), truncating every
+    (block, tile) pair at ``K = min(block max length, tile max length)``.
+
+    JS needs the elementwise ``(B, W, K)`` mixture pass; the symmetrised
+    KL of the ablation decomposes into two ``(B, K) x (K, W)`` GEMMs over
+    the clamped log-profiles, with the dropped columns collapsing to
+    ``log2(eps)`` times the longer side's suffix mass.
+    """
+    b = stop - start
+    max_lb = int(state.Ls[start])
+    Pb = state.Pp[start:stop]
+    S = state.S
+    if state.mode == "kl":
+        log_eps = np.log2(_KL_EPS)
+        Lb = state.L2[start:stop]
+        for ts, te, tile_max in tiles:
+            k_cols = min(max_lb, tile_max)
+            cross = Pb[:, :k_cols] @ state.L2[ts:te, :k_cols].T
+            cross += Lb[:, :k_cols] @ state.Pp[ts:te, :k_cols].T
+            if max_lb <= tile_max:
+                suffix = state.PS[ts:te, k_cols][None, :]
+            else:
+                suffix = state.PS[start:stop, k_cols][:, None]
+            # sym-KL = 0.5 (S_p + S_q - sum_k (p_k Lq_k + q_k Lp_k))
+            Hb[:, ts:te] = 0.5 * (
+                S[start:stop, None] + S[None, ts:te] - cross - log_eps * suffix
+            )
+        return
+    for ts, te, tile_max in tiles:
+        w = te - ts
+        k_cols = min(max_lb, tile_max)
+        t = buf_t[: b * w * k_cols].reshape(b, w, k_cols)
+        ell = buf_l[: b * w * k_cols].reshape(b, w, k_cols)
+        np.add(Pb[:, None, :k_cols], state.Pp[None, ts:te, :k_cols], out=t)
+        t *= 0.5
+        np.maximum(t, _TINY, out=t)
+        np.log2(t, out=ell)
+        t *= ell
+        cross = t.sum(axis=-1)
+        if max_lb <= tile_max:
+            pure = state.T[ts:te, k_cols][None, :]
+        else:
+            pure = state.T[start:stop, k_cols][:, None]
+        # JS = 0.5 (S_p + S_q) - sum_k f((p_k + q_k) / 2)
+        Hb[:, ts:te] = 0.5 * (
+            S[start:stop, None] + S[None, ts:te]
+        ) - (cross + pure)
+
+
+def _sorted_shard(args) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Dense worker: remote rankings for sorted-order rows ``[s0, s1)``.
+
+    Returns ``(orig_rows, ids, scores)``; ``s0``/``s1`` are multiples of
+    the block size, so any sharding produces the exact block boundaries of
+    the sequential build and the merge is byte-identical for every worker
+    count.
+    """
+    state, s0, s1 = args
+    n, m_prof = state.n, state.m_prof
+    block_size, tile_size = state.block_size, state.tile_size
+    lam, mc = state.lam, state.mc
     tiles = [
-        (ts, min(n, ts + tile_size), int(Ls[ts])) for ts in range(0, n, tile_size)
+        (ts, min(n, ts + tile_size), int(state.Ls[ts]))
+        for ts in range(0, n, tile_size)
     ]
     buf_t = np.empty(block_size * tile_size * max(m_prof, 1))
     buf_l = np.empty(block_size * tile_size * max(m_prof, 1))
     H = np.empty((block_size, n))
 
-    remote = np.full((n, mc), -1, dtype=np.int64)
-    remote_scores = np.full((n, mc), -np.inf)
+    rows = s1 - s0
+    out_rows = np.empty(rows, dtype=np.int64)
+    out_ids = np.empty((rows, mc), dtype=np.int64)
+    out_scores = np.empty((rows, mc))
 
-    for start in range(0, n, block_size):
-        stop = min(n, start + block_size)
+    for start in range(s0, s1, block_size):
+        stop = min(s1, start + block_size)
         b = stop - start
         Hb = H[:b]
 
         if lam > 0:
-            max_lb = int(Ls[start])
-            Pb = Pp[start:stop]
-            for ts, te, tile_max in tiles:
-                w = te - ts
-                k_cols = min(max_lb, tile_max)
-                t = buf_t[: b * w * k_cols].reshape(b, w, k_cols)
-                ell = buf_l[: b * w * k_cols].reshape(b, w, k_cols)
-                np.add(Pb[:, None, :k_cols], Pp[None, ts:te, :k_cols], out=t)
-                t *= 0.5
-                np.maximum(t, _TINY, out=t)
-                np.log2(t, out=ell)
-                t *= ell
-                cross = t.sum(axis=-1)
-                if max_lb <= tile_max:
-                    pure = T[ts:te, k_cols][None, :]
-                else:
-                    pure = T[start:stop, k_cols][:, None]
-                # JS = 0.5 (S_p + S_q) - sum_k f((p_k + q_k) / 2)
-                Hb[:, ts:te] = 0.5 * (
-                    S[start:stop, None] + S[None, ts:te]
-                ) - (cross + pure)
-            # H_s contribution: lam * (1 - JS), folded in place.
+            _sorted_divergence_block(state, Hb, start, stop, tiles, buf_t, buf_l)
+            # H_s contribution: lam * (1 - divergence), folded in place.
             Hb *= -lam
             Hb += lam
         else:
             Hb.fill(0.0)
 
         # Feature term H_f = -P log P from the block GEMM, folded in place.
-        logits = Zp[start:stop] @ Zp.T
-        logits -= log_den
+        logits = state.Zp[start:stop] @ state.Zp.T
+        logits -= state.log_den
         hf = np.exp(logits)
         hf *= logits
-        hf *= -inv_scale
+        hf *= -state.inv_scale
         Hb += hf
 
         # Mask self and current neighbours (columns live in perm order).
         Hb[np.arange(b), np.arange(start, stop)] = -np.inf
-        orig_rows = perm[start:stop]
+        orig_rows = state.perm[start:stop]
         for r, ov in enumerate(orig_rows):
-            nb = indices[indptr[ov] : indptr[ov + 1]]
-            Hb[r, iperm[nb]] = -np.inf
+            nb = state.indices[state.indptr[ov] : state.indptr[ov + 1]]
+            Hb[r, state.iperm[nb]] = -np.inf
 
-        ids, scores = _select_remote_block(Hb, perm, mc)
+        ids, scores = _select_remote_block(Hb, state.perm, mc)
+        out_rows[start - s0 : stop - s0] = orig_rows
+        out_ids[start - s0 : stop - s0] = ids
+        out_scores[start - s0 : stop - s0] = scores
+    return out_rows, out_ids, out_scores
+
+
+def _neighbor_ranking(
+    graph: Graph, scorer: PairEntropyScorer
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Ascending-entropy neighbour ordering over the whole CSR edge list."""
+    indptr, indices = graph.csr_neighbors()
+    n = graph.num_nodes
+    rows_flat = np.repeat(np.arange(n), np.diff(indptr))
+    if indptr[-1]:
+        pair_vals = scorer.score(rows_flat, indices)
+    else:
+        pair_vals = np.empty(0)
+    perm_n = np.lexsort((pair_vals, rows_flat))
+    return indptr, indices[perm_n], pair_vals[perm_n]
+
+
+def _sorted_shard_ranges(n: int, num_workers: int, block_size: int):
+    """Contiguous sorted-order row ranges aligned to ``block_size``."""
+    shards = max(1, min(num_workers * 2 if num_workers > 1 else 1,
+                        -(-n // block_size)))
+    blocks = -(-n // shards)
+    blocks = -(-blocks // block_size) * block_size
+    return [(s, min(n, s + blocks)) for s in range(0, n, blocks)]
+
+
+def _build_sorted(
+    graph: Graph,
+    entropy: RelativeEntropy,
+    max_candidates: int,
+    num_workers: int = 1,
+    executor: str = "thread",
+    block_size: int = 64,
+    tile_size: int = 1024,
+) -> EntropySequences:
+    """Dense fast path: length-sorted tiled structural kernel (JS or
+    symmetrised KL), executed as sorted-row-range shards on a worker pool.
+
+    Nodes are processed in descending nonzero-profile-length order so every
+    (row block, column tile) pair can truncate the divergence at
+    ``K = min(block max length, tile max length)`` columns; the dropped
+    columns, where one side of the pair is all padding, collapse to
+    precomputed suffix sums.  Scratch buffers are carved from flat
+    preallocations so every inner op runs on contiguous memory.
+    """
+    n = graph.num_nodes
+    mc = max_candidates
+    scorer = PairEntropyScorer.from_entropy(entropy)
+    indptr, flat_ids, flat_scores = _neighbor_ranking(graph, scorer)
+
+    state = _sorted_state(
+        graph, entropy, mc, block_size, tile_size, scorer=scorer
+    )
+    tasks = _sorted_shard_ranges(n, num_workers, block_size)
+    results = run_sharded(
+        _sorted_shard, tasks, num_workers, executor, state=state
+    )
+
+    remote = np.full((n, mc), -1, dtype=np.int64)
+    remote_scores = np.full((n, mc), -np.inf)
+    for orig_rows, ids, scores in results:
         remote[orig_rows] = ids
         remote_scores[orig_rows] = scores
 
+    neighbors = list(np.split(flat_ids, indptr[1:-1]))
+    neighbor_scores = list(np.split(flat_scores, indptr[1:-1]))
+    return EntropySequences(
+        remote=remote,
+        remote_scores=remote_scores,
+        neighbors=neighbors,
+        neighbor_scores=neighbor_scores,
+        flat_neighbors=flat_ids,
+        neighbor_indptr=indptr.copy(),
+    )
+
+
+def _build_screened(
+    graph: Graph,
+    entropy: RelativeEntropy,
+    max_candidates: int,
+    num_workers: int = 1,
+    executor: str = "thread",
+    shard_plan: Optional[EntropyShardPlan] = None,
+    screen_size: Optional[int] = None,
+) -> EntropySequences:
+    """Screen-then-rescore path: certified candidate pruning per shard.
+
+    See :mod:`repro.entropy.screening` for the engine; rankings are
+    identical to the dense builders away from exact value ties.
+    """
+    n = graph.num_nodes
+    state = build_screen_state(
+        graph, entropy, max_candidates, screen_size=screen_size
+    )
+    if shard_plan is None:
+        # Fixed over-decomposition: the plan must not depend on num_workers
+        # or results would differ across worker counts (see the constant).
+        shard_plan = EntropyShardPlan.build(graph, SCREEN_DEFAULT_SHARDS)
+    elif shard_plan.num_nodes != n:
+        raise ValueError(
+            f"shard_plan built for N={shard_plan.num_nodes}, "
+            f"got graph with N={n}"
+        )
+    results = run_sharded(
+        screen_shard, shard_plan.ranges(), num_workers, executor, state=state
+    )
+
+    mc = max_candidates
+    remote = np.full((n, mc), -1, dtype=np.int64)
+    remote_scores = np.full((n, mc), -np.inf)
+    nbr_id_parts: List[np.ndarray] = []
+    nbr_score_parts: List[np.ndarray] = []
+    for r0, r1, ids, scores, nbr_ids, nbr_scores in results:
+        remote[r0:r1] = ids
+        remote_scores[r0:r1] = scores
+        nbr_id_parts.append(nbr_ids)
+        nbr_score_parts.append(nbr_scores)
+
+    indptr = state.indptr
+    flat_ids = (
+        np.concatenate(nbr_id_parts) if indptr[-1] else np.empty(0, dtype=np.int64)
+    )
+    flat_scores = (
+        np.concatenate(nbr_score_parts) if indptr[-1] else np.empty(0)
+    )
     neighbors = list(np.split(flat_ids, indptr[1:-1]))
     neighbor_scores = list(np.split(flat_scores, indptr[1:-1]))
     return EntropySequences(
@@ -345,6 +607,10 @@ def build_entropy_sequences(
     shuffle: bool = False,
     block_size: int = 256,
     H: Optional[np.ndarray] = None,
+    screening: str = "auto",
+    num_workers: int = 1,
+    executor: str = "thread",
+    shard_plan: Optional[EntropyShardPlan] = None,
 ) -> EntropySequences:
     """Rank every node's remote candidates and one-hop neighbours.
 
@@ -356,13 +622,32 @@ def build_entropy_sequences(
     given, blocks are sliced from it instead of recomputed — the hook the
     equivalence tests use to feed bit-identical inputs to both builders.
 
+    ``screening`` selects the candidate engine: ``"off"`` runs the dense
+    length-sorted tiled kernel over all ``N^2`` pairs, ``"on"`` the
+    screen-then-rescore engine (a cheap feature-logit screen bounds
+    ``H <= H_f + lam * hs_max`` and only certified survivors reach the
+    exact kernel — same rankings away from exact value ties, an order of
+    magnitude faster at large ``N``), and ``"auto"`` (default) switches
+    the screen on from ``SCREEN_AUTO_MIN`` nodes.  Both engines shard the
+    build and run the shards on ``num_workers`` pool workers (``executor``
+    is ``"thread"`` or ``"process"``); results merge by range, so every
+    worker count returns byte-identical sequences.  ``shard_plan``
+    overrides the screened engine's row-range plan (the dense engine
+    derives its own block-aligned sorted-order ranges).
+
     ``block_size`` tunes the generic blocked builder (the ``H``-provided
-    and KL-ablation paths).  The default JS fast path ignores it: its
-    row-block and column-tile sizes are fixed to keep the tiled structural
-    kernel's scratch buffers cache-resident.
+    path).  The sorted fast path ignores it: its row-block and column-tile
+    sizes are fixed to keep the tiled structural kernel's scratch buffers
+    cache-resident.
     """
     if max_candidates < 1:
         raise ValueError(f"max_candidates must be >= 1, got {max_candidates}")
+    if screening not in ("auto", "on", "off"):
+        raise ValueError(
+            f"screening must be 'auto', 'on' or 'off', got {screening!r}"
+        )
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
     if shuffle:
         return build_entropy_sequences_reference(
             graph, entropy, max_candidates, rng=rng, shuffle=True, H=H
@@ -371,10 +656,24 @@ def build_entropy_sequences(
         return _build_from_rows(
             graph, lambda s, e: H[s:e], max_candidates, block_size
         )
-    if entropy.structural_mode == "js":
-        return _build_sorted_js(graph, entropy, max_candidates)
-    # KL ablation mode: generic blocked rows (no length-sorted kernel).
-    return _build_from_rows(graph, entropy.rows, max_candidates, block_size)
+    if screening == "on" or (
+        screening == "auto" and graph.num_nodes >= SCREEN_AUTO_MIN
+    ):
+        return _build_screened(
+            graph,
+            entropy,
+            max_candidates,
+            num_workers=num_workers,
+            executor=executor,
+            shard_plan=shard_plan,
+        )
+    return _build_sorted(
+        graph,
+        entropy,
+        max_candidates,
+        num_workers=num_workers,
+        executor=executor,
+    )
 
 
 def build_entropy_sequences_reference(

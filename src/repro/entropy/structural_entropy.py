@@ -151,6 +151,41 @@ def kl_divergence_block(
         return np.where(P3 > 0, P3 * np.log2(P3 / Q3), 0.0).sum(axis=-1)
 
 
+def symmetric_kl_divergence_block(
+    P: np.ndarray, Q: np.ndarray, eps: float = 1e-12
+) -> np.ndarray:
+    """Symmetrised KL ``0.5 (KL(P_i || Q_j) + KL(Q_j || P_i))`` as ``(B, N)``.
+
+    Algebraically identical to averaging the two clamped one-sided KLs, but
+    folded into a single pass: with ``Lp = log2 max(p, eps)`` and
+    ``Lq = log2 max(q, eps)``,
+
+        ``p (Lp - Lq) + q (Lq - Lp) = (p - q)(Lp - Lq)``
+
+    holds for every zero pattern under the ``0 log 0 = 0`` convention, so
+    one broadcast difference and one clamped-log difference replace the two
+    separate ``(B, N, M)`` ratio/where intermediates.
+    """
+    diff = P[:, None, :] - Q[None, :, :]
+    logs = np.log2(np.maximum(P, eps))[:, None, :] - np.log2(
+        np.maximum(Q, eps)
+    )[None, :, :]
+    logs *= diff
+    return 0.5 * logs.sum(axis=-1)
+
+
+def symmetric_kl_divergence_pairs(
+    p: np.ndarray, q: np.ndarray, eps: float = 1e-12
+) -> np.ndarray:
+    """Symmetrised KL for aligned rows of ``p`` and ``q`` (same folding)."""
+    p = np.atleast_2d(p)
+    q = np.atleast_2d(q)
+    diff = p - q
+    logs = np.log2(np.maximum(p, eps)) - np.log2(np.maximum(q, eps))
+    logs *= diff
+    return 0.5 * logs.sum(axis=-1)
+
+
 def structural_entropy_pairs(profiles: np.ndarray, pairs: np.ndarray) -> np.ndarray:
     """``H_s(v, u) = 1 - JS`` for an array of pairs of shape ``(m, 2)``."""
     pairs = np.asarray(pairs)

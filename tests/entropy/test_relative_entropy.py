@@ -82,6 +82,47 @@ def test_class_pair_entropy_diagonal_dominates(graph, entropy):
     assert diag > off
 
 
+def test_class_pair_entropy_label_gaps(graph, entropy):
+    """Labels with an unused class id: empty cells are NaN, not 0."""
+    labels = np.where(graph.labels >= 1, graph.labels + 1, graph.labels)
+    M = class_pair_entropy(entropy, labels)
+    assert M.shape == (int(labels.max()) + 1, int(labels.max()) + 1)
+    assert np.isnan(M[1]).all() and np.isnan(M[:, 1]).all()
+    present = np.unique(labels)
+    sub = M[np.ix_(present, present)]
+    assert np.isfinite(sub).all()
+    # Present-class cells agree with the gap-free labelling.
+    dense = class_pair_entropy(entropy, graph.labels)
+    np.testing.assert_allclose(sub, dense)
+
+
+def test_class_pair_entropy_num_classes_widens(graph, entropy):
+    M = class_pair_entropy(entropy, graph.labels, num_classes=graph.num_classes + 2)
+    assert M.shape == (graph.num_classes + 2,) * 2
+    assert np.isnan(M[-1]).all() and np.isnan(M[:, -2]).all()
+    with pytest.raises(ValueError, match="num_classes"):
+        class_pair_entropy(entropy, graph.labels, num_classes=1)
+
+
+def test_class_pair_entropy_rejects_bad_labels(graph, entropy):
+    with pytest.raises(ValueError, match="non-negative"):
+        class_pair_entropy(entropy, graph.labels - 1)
+    with pytest.raises(ValueError, match="labels shape"):
+        class_pair_entropy(entropy, graph.labels[:-1])
+    with pytest.raises(ValueError, match="integers"):
+        class_pair_entropy(entropy, graph.labels.astype(np.float64))
+
+
+def test_class_pair_entropy_singleton_class(entropy, graph):
+    """A class with one node has no non-self pairs: its diagonal is NaN."""
+    labels = graph.labels.copy()
+    solo = int(labels.max()) + 1
+    labels[0] = solo
+    M = class_pair_entropy(entropy, labels)
+    assert np.isnan(M[solo, solo])
+    assert np.isfinite(M[solo, :solo]).all()
+
+
 # ---------------------------------------------------------------------------
 # Entropy sequences
 # ---------------------------------------------------------------------------

@@ -1,0 +1,62 @@
+"""Tests for the Graph row-range shard/slice helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import planted_partition_graph
+from repro.graph import Graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return planted_partition_graph(num_nodes=60, homophily=0.4, seed=8)
+
+
+def test_edge_key_range_matches_bruteforce(graph):
+    keys = graph.edge_keys()
+    u = keys // graph.num_nodes
+    for lo, hi in [(0, 60), (0, 0), (60, 60), (10, 25), (0, 1), (59, 60)]:
+        i0, i1 = graph.edge_key_range(lo, hi)
+        expected = np.flatnonzero((u >= lo) & (u < hi))
+        if expected.size:
+            assert (i0, i1) == (expected[0], expected[-1] + 1)
+        else:
+            assert i0 == i1
+        np.testing.assert_array_equal(
+            graph.edge_key_slice(lo, hi), keys[i0:i1]
+        )
+
+
+def test_edge_key_ranges_cover_disjointly(graph):
+    cuts = [0, 13, 14, 40, 60]
+    slices = [
+        graph.edge_key_slice(a, b) for a, b in zip(cuts, cuts[1:])
+    ]
+    np.testing.assert_array_equal(
+        np.concatenate(slices), graph.edge_keys()
+    )
+
+
+def test_edge_key_range_rejects_bad_bounds(graph):
+    for lo, hi in [(-1, 10), (5, 61), (20, 10)]:
+        with pytest.raises(ValueError, match="row range"):
+            graph.edge_key_range(lo, hi)
+        with pytest.raises(ValueError, match="row range"):
+            graph.csr_row_slice(lo, hi)
+
+
+def test_csr_row_slice_matches_neighbors(graph):
+    for lo, hi in [(0, 60), (7, 23), (0, 1), (59, 60), (30, 30)]:
+        indptr, indices = graph.csr_row_slice(lo, hi)
+        assert indptr.shape == (hi - lo + 1,)
+        assert indptr[0] == 0
+        for v in range(lo, hi):
+            local = indices[indptr[v - lo] : indptr[v - lo + 1]]
+            np.testing.assert_array_equal(local, graph.neighbors(v))
+
+
+def test_csr_row_slice_empty_graph_rows():
+    g = Graph(6, [(0, 1)])
+    indptr, indices = g.csr_row_slice(2, 6)
+    assert indices.size == 0
+    np.testing.assert_array_equal(indptr, np.zeros(5, dtype=np.int64))

@@ -34,6 +34,28 @@ def test_rewire_command(capsys):
     assert "homophily" in out
 
 
+def test_entropy_engine_flags_parse():
+    args = build_parser().parse_args([
+        "run", "--dataset", "texas", "--screening", "on", "--num-workers", "3",
+    ])
+    assert args.screening == "on" and args.num_workers == 3
+    args = build_parser().parse_args(["rewire", "--dataset", "texas"])
+    assert args.screening == "auto" and args.num_workers == 1
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["run", "--dataset", "texas", "--screening", "maybe"]
+        )
+
+
+def test_rewire_with_screening_engine(capsys):
+    code = main([
+        "rewire", "--dataset", "texas", "--scale", "0.5",
+        "--k", "1", "--d", "1", "--screening", "on", "--num-workers", "2",
+    ])
+    assert code == 0
+    assert "homophily" in capsys.readouterr().out
+
+
 def test_rewire_saves_graph(tmp_path, capsys):
     out_path = str(tmp_path / "rewired.npz")
     code = main([
