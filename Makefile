@@ -1,15 +1,18 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test bench-smoke bench-scaling bench-rollout bench-entropy
+.PHONY: test bench-smoke bench-scaling bench-rollout bench-entropy bench-reward
 
 test:
 	$(PY) -m pytest -x -q
 
-# Fast sanity run of the CSR scaling benchmark (< 60 s): measures the
-# vectorized entropy pipeline + delta rewiring against the seed loops at
-# small N and asserts the >= 5x speedup contract.
+# Fast sanity run (< 60 s): the CSR scaling benchmark at small N (asserts
+# the >= 5x speedup contract) plus a small-N pass of the incremental
+# reward engine (equivalence checked; the 4x contract is pinned to N=5k,
+# so the small run reports without gating).  Both respect
+# BENCH_SKIP_CONTRACT=1 on noisy shared runners.
 bench-smoke:
 	$(PY) benchmarks/bench_scaling_rewire.py --sizes 1000 5000 --steps 5
+	$(PY) benchmarks/bench_incremental_reward.py --nodes 1500 --edits 2 --steps 6 --repeats 2
 
 # Full trajectory including the 20k-node fast-path-only point.
 bench-scaling:
@@ -26,3 +29,10 @@ bench-rollout:
 # contract at N = 20k, and writes JSON into bench_results/.
 bench-entropy:
 	$(PY) benchmarks/bench_entropy_screening.py
+
+# Incremental reward engine (delta-patched propagation + halo-restricted
+# GNN re-evaluation) vs the full per-step re-evaluation at N = 5k;
+# verifies metric/logit equivalence, asserts the >= 4x speedup contract
+# on the (graphsage, 8-edit) row, and writes JSON into bench_results/.
+bench-reward:
+	$(PY) benchmarks/bench_incremental_reward.py

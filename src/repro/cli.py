@@ -65,6 +65,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--num-envs", type=int, default=1,
                      help="parallel episodes per rollout; > 1 collects "
                           "through the vectorized VecTopologyEnv (ppo/a2c)")
+    run.add_argument("--incremental-reward", action="store_true",
+                     help="score per-step rewards through the incremental "
+                          "engine: delta-patched propagation matrices and "
+                          "halo-restricted GNN re-evaluation (equal to the "
+                          "dense evaluation at float64 resolution; "
+                          "unsupported backbones fall back transparently)")
     run.add_argument("--splits", type=int, default=1)
     add_entropy_engine_args(run)
 
@@ -104,6 +110,7 @@ def cmd_run(args) -> int:
         horizon=args.horizon,
         rl_algorithm=args.rl,
         num_envs=args.num_envs,
+        incremental_reward=args.incremental_reward,
         screening=args.screening,
         num_workers=args.num_workers,
         seed=args.seed,

@@ -54,6 +54,15 @@ class RareConfig:
     """Mixing weight between the accuracy and loss deltas."""
     reward: str = "acc_loss"
     """``"acc_loss"`` (Eq. 11) or ``"auc"`` (Table V reward ablation)."""
+    incremental_reward: bool = False
+    """Score per-step rewards through the incremental engine
+    (:mod:`repro.gnn.incremental`): cached propagation matrices are
+    delta-patched instead of rebuilt and the GNN re-evaluates only the
+    rewire's 2-hop halo against cached base-graph logits.  Equal to the
+    dense evaluation at float64 resolution (byte-identical off the halo;
+    see the module's exactness contract).  ``False`` (default) keeps the
+    full-graph evaluation as the reference twin; backbones without an
+    incremental plan fall back to it transparently."""
 
     # --- co-training loop (Algorithm 1) --------------------------------
     episodes: int = 6

@@ -17,12 +17,13 @@ for a few more epochs on the current topology with early stopping.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
 from ..entropy import EntropySequences
-from ..gnn import GNNBackbone, Trainer, evaluate
+from ..gnn import GNNBackbone, IncrementalEvaluator, Trainer, evaluate
 from ..graph import Graph, Split, homophily_ratio
 from ..nn import macro_auc
 from ..rl import Env, MultiDiscreteSpace
@@ -31,6 +32,34 @@ from .rewire import clamp_state, rewire_graph
 
 #: Features per node row in the observation.
 OBS_DIM = 6
+
+
+def reward_metrics(
+    model: GNNBackbone,
+    graph: Graph,
+    mask: np.ndarray,
+    reward: str,
+    evaluator: IncrementalEvaluator | None = None,
+) -> Tuple[float, float]:
+    """Eval-mode ``(score, loss)`` for the reward (Alg. 1 line 9).
+
+    The one dispatch shared by the sequential and vectorized envs: routed
+    through the incremental ``evaluator`` when one is bound (a single
+    halo/cached evaluation also yields the logits the AUC reward needs),
+    through the dense :func:`~repro.gnn.evaluate` otherwise.
+    """
+    if evaluator is not None:
+        if reward == "auc":
+            _, loss, logits = evaluator.evaluate(
+                graph, mask, return_logits=True
+            )
+            return macro_auc(logits, graph.labels, mask), loss
+        return evaluator.evaluate(graph, mask)
+    acc, loss = evaluate(model, graph, mask)
+    if reward == "auc":
+        logits = model.predict_logits(graph)
+        return macro_auc(logits, graph.labels, mask), loss
+    return acc, loss
 
 
 def observation_template(
@@ -154,20 +183,29 @@ class TopologyEnv(Env):
         self.current_graph: Graph = graph
         self.history: list[Dict[str, float]] = []
         self._steps_total = 0
-        self._rewire_cache: Dict[bytes, Graph] = {}
+        self._rewire_cache: "OrderedDict[bytes, Graph]" = OrderedDict()
         self._rewire_hits = 0
         self._rewire_misses = 0
+        # Optional incremental reward engine: delta-patched propagation
+        # matrices + halo-restricted forwards against cached base logits.
+        # Bound to the delta *root*: if the env's base graph is itself a
+        # derived graph (e.g. a preprocessed dataset), rewire deltas
+        # collapse to that root and the halo path still applies.
+        self._inc: Optional[IncrementalEvaluator] = (
+            IncrementalEvaluator(
+                model, graph.delta.base if graph.delta is not None else graph
+            )
+            if config.incremental_reward
+            else None
+        )
         self.reset()
 
     # ------------------------------------------------------------------
     def _metrics(self, graph: Graph) -> Tuple[float, float]:
         """Eval-mode (score, loss) on the training nodes (Alg. 1 line 9)."""
-        acc, loss = evaluate(self.model, graph, self.split.train)
-        if self.config.reward == "auc":
-            logits = self.model.predict_logits(graph)
-            score = macro_auc(logits, graph.labels, self.split.train)
-            return score, loss
-        return acc, loss
+        return reward_metrics(
+            self.model, graph, self.split.train, self.config.reward, self._inc
+        )
 
     def _observation(self) -> np.ndarray:
         return fill_observation(
@@ -236,8 +274,9 @@ class TopologyEnv(Env):
         result depends only on the clamped state — an episode that revisits
         a state (all-keep actions, oscillating policies) reuses the exact
         Graph object, and with it every propagation matrix cached on it.
-        Eviction is FIFO (dicts preserve insertion order), so a revisited
-        early state can age out but the memo never resets wholesale.
+        Eviction is LRU: a hit refreshes the entry's recency, so hot
+        ``(k, d)`` states survive even when they were inserted early, and
+        the memo never resets wholesale.
         """
         key = k.tobytes() + d.tobytes()
         graph = self._rewire_cache.get(key)
@@ -252,10 +291,11 @@ class TopologyEnv(Env):
                 remove_edges=self.config.remove_edges,
             )
             while len(self._rewire_cache) >= self.REWIRE_CACHE_LIMIT:
-                self._rewire_cache.pop(next(iter(self._rewire_cache)))
+                self._rewire_cache.popitem(last=False)
             self._rewire_cache[key] = graph
         else:
             self._rewire_hits += 1
+            self._rewire_cache.move_to_end(key)
         return graph
 
     def step(self, action: np.ndarray) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
@@ -292,6 +332,10 @@ class TopologyEnv(Env):
                     epochs=self.config.co_train_epochs,
                     patience=self.config.co_train_patience,
                 )
+                if self._inc is not None:
+                    # Co-training changed the weights: cached base-graph
+                    # activations are stale.
+                    self._inc.invalidate()
                 score, loss = self._metrics(graph)
 
         self.prev_score, self.prev_loss = score, loss

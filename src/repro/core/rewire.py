@@ -19,7 +19,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..entropy import EntropySequences
-from ..graph import Graph
+from ..graph import Graph, GraphDelta
+from ..graph.graph import _collapsed_delta
 
 
 def state_bounds(
@@ -139,6 +140,11 @@ def rewire_graph(
     An edge is removed when *either* endpoint selects it for deletion, and
     added when either endpoint selects the pair — consistent with keeping
     the graph undirected.
+
+    The engine knows exactly which keys it dropped and inserted, so the
+    result carries a :class:`~repro.graph.GraphDelta` against ``graph`` —
+    the hook the incremental reward engine patches propagation matrices and
+    halo-restricted GNN evaluations from.
     """
     k = np.asarray(k, dtype=np.int64)
     d = np.asarray(d, dtype=np.int64)
@@ -149,13 +155,34 @@ def rewire_graph(
         )
 
     nn = np.int64(n)
-    keys = graph.edge_keys()
+    base_keys = graph.edge_keys()
+    keys = base_keys
+    removed = np.empty(0, dtype=np.int64)
     if remove_edges and (d > 0).any():
         gone = _removal_keys(sequences, d, nn)
-        keys = keys[np.isin(keys, gone, assume_unique=True, invert=True)]
+        present = np.isin(keys, gone, assume_unique=True)
+        removed = keys[present]
+        keys = keys[~present]
+    added = np.empty(0, dtype=np.int64)
     if add_edges and (k > 0).any():
-        keys = _sorted_unique(np.concatenate([keys, _addition_keys(sequences, k, nn)]))
-    return Graph._from_keys(n, keys, graph.features, graph.labels)
+        cand = _addition_keys(sequences, k, nn)
+        # A candidate may re-insert an edge the removal pass just dropped;
+        # the net delta below accounts for that (it is neither added nor
+        # removed relative to the base graph).
+        keys = _sorted_unique(np.concatenate([keys, cand]))
+        added = keys[np.isin(keys, base_keys, assume_unique=True, invert=True)]
+        if removed.shape[0]:
+            removed = removed[
+                np.isin(removed, keys, assume_unique=True, invert=True)
+            ]
+    out = Graph._from_keys(n, keys, graph.features, graph.labels)
+    if graph.delta is None:
+        out.delta = GraphDelta(graph, added, removed)
+    else:
+        # Rewiring a graph that is itself derived: collapse the delta to
+        # the root so no chain of intermediates stays pinned.
+        out.delta = _collapsed_delta(graph, keys)
+    return out
 
 
 def rewire_graph_reference(

@@ -1,6 +1,15 @@
 """GNN backbones and training loops (replaces PyG/DGL layers)."""
 
 from .base import GNNBackbone, cached_matrix, features_tensor
+from .incremental import (
+    IncrementalEvaluator,
+    install_propagation_caches,
+    patched_adjacency,
+    patched_gcn_norm,
+    patched_row_norm,
+    patched_two_hop,
+    supports_incremental,
+)
 from .models import (
     BACKBONES,
     GAT,
@@ -22,6 +31,7 @@ __all__ = [
     "GNNBackbone",
     "GraphSAGE",
     "H2GCN",
+    "IncrementalEvaluator",
     "MLPClassifier",
     "MixHop",
     "TrainResult",
@@ -30,5 +40,11 @@ __all__ = [
     "cached_matrix",
     "evaluate",
     "features_tensor",
+    "install_propagation_caches",
+    "patched_adjacency",
+    "patched_gcn_norm",
+    "patched_row_norm",
+    "patched_two_hop",
+    "supports_incremental",
     "train_backbone",
 ]

@@ -1,0 +1,717 @@
+"""Incremental reward engine: delta propagation updates + halo forwards.
+
+The RL loop's per-step cost is dominated by the reward evaluation: every
+rewired graph rebuilds its propagation matrices from scratch and the GNN
+scores **all** ``N`` nodes, even though one ``(k, d)`` rewire edits a small
+set of edges whose influence — for a two-layer backbone — cannot escape the
+2-hop halo of the edited endpoints.  This module makes both observations
+operational:
+
+1. **Delta-based propagation updates.**  :func:`repro.core.rewire.
+   rewire_graph` records the exact inserted/deleted edge keys on the
+   rewired graph (:class:`~repro.graph.GraphDelta`).  Given the base
+   graph's cached matrices, :func:`patched_adjacency`,
+   :func:`patched_gcn_norm`, :func:`patched_row_norm` and
+   :func:`patched_two_hop` splice only the rows whose entries can differ
+   (touched endpoints, their degree-affected neighbour rows, and — for the
+   strict two-hop matrix — the delta's 2-hop closure); every other row's
+   index/data segment is copied verbatim, so unchanged entries are
+   *byte-identical* to a from-scratch build.
+
+2. **Halo-restricted forward.**  For the two-layer linear-propagation
+   backbones (GCN, GraphSAGE) the eval-mode logits of a rewired graph
+   differ from the cached base-graph logits only inside the halo ``H``
+   (dirty propagation rows plus their new-graph frontier).  The evaluator
+   assembles ``(|halo|, N)`` propagation-row slices (base rows verbatim,
+   dirty rows respliced), recomputes exactly those rows with plain
+   :func:`repro.tensor.ops.spmm` over the slices and patches them into
+   the cached base activations
+   (:func:`repro.tensor.ops.scatter_patch_rows`), producing
+   **full-graph** logits without a full forward.
+
+Exactness contract
+------------------
+The patched propagation matrices are byte-identical to from-scratch
+builds (unchanged rows are copied verbatim; respliced rows recompute the
+same scalar formula in the same order).  Off-halo logit rows come from
+the cached base evaluation and are byte-identical to a full
+re-evaluation: every op involved is row-local (sparse row products sum in
+identical index order, dense GEMM rows depend only on their own input
+row).  Halo rows are recomputed through row-*subset* GEMMs whose BLAS
+kernel may block the inner dimension differently from the full-matrix
+call, so they are guaranteed equal at float64 resolution only —
+``np.allclose(..., rtol=1e-9, atol=1e-12)``, observed ulp-level
+(``<= 3e-16``) in the test suite.  Tie policy: the reward's accuracy term
+uses ``argmax`` over logits, so only a class-logit tie within that
+tolerance could resolve differently — with continuous weights such ties
+have measure zero, and the dense full-graph evaluation is kept as the
+reference twin (``RareConfig.incremental_reward = False``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph import Graph
+from ..graph.graph import _member_sorted
+from ..graph.normalize import gcn_norm, row_norm, two_hop_adjacency
+from ..tensor import Tensor, ops
+from .base import GNNBackbone, cached_matrix
+from .models import GCN, H2GCN, GraphSAGE, MixHop
+
+__all__ = [
+    "IncrementalEvaluator",
+    "install_propagation_caches",
+    "patched_adjacency",
+    "patched_gcn_norm",
+    "patched_row_norm",
+    "patched_two_hop",
+    "supports_incremental",
+]
+
+
+# ---------------------------------------------------------------------------
+# CSR row surgery primitives
+# ---------------------------------------------------------------------------
+def _union(*arrays: np.ndarray) -> np.ndarray:
+    """Sorted unique union of int64 index arrays (empties welcome)."""
+    parts = [np.asarray(a, dtype=np.int64) for a in arrays if len(a)]
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(parts))
+
+
+def _gather_segments(
+    indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flattened ``(row_ids, col_ids)`` of the CSR segments of ``rows``."""
+    rows = np.asarray(rows, dtype=np.int64)
+    counts = (indptr[rows + 1] - indptr[rows]).astype(np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    out_rows = np.repeat(rows, counts)
+    starts = np.repeat(indptr[rows].astype(np.int64), counts)
+    ends = np.cumsum(counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+    return out_rows, indices[starts + offsets].astype(np.int64)
+
+
+def _neighbor_union(matrix: sp.csr_matrix, rows: np.ndarray) -> np.ndarray:
+    """Unique column ids appearing in the CSR rows ``rows``."""
+    if not len(rows):
+        return np.empty(0, dtype=np.int64)
+    _, cols = _gather_segments(matrix.indptr, matrix.indices, rows)
+    return np.unique(cols)
+
+
+def _replace_rows(
+    mat: sp.csr_matrix,
+    rows: np.ndarray,
+    new_cols: np.ndarray,
+    new_data: np.ndarray,
+    new_lengths: np.ndarray,
+) -> sp.csr_matrix:
+    """A copy of ``mat`` with the CSR segments of ``rows`` replaced.
+
+    ``rows`` must be sorted unique; ``new_cols``/``new_data`` hold the
+    replacement segments concatenated in that row order (columns sorted
+    within each row); ``new_lengths[i]`` is the segment length of
+    ``rows[i]``.  Untouched rows are copied verbatim — their float data is
+    bitwise-preserved, which is what makes the patched matrices exact.
+    """
+    n = mat.shape[0]
+    old_lengths = np.diff(mat.indptr).astype(np.int64)
+    lengths = old_lengths.copy()
+    lengths[rows] = new_lengths
+    indptr = np.empty(n + 1, dtype=np.int64)
+    indptr[0] = 0
+    np.cumsum(lengths, out=indptr[1:])
+    nnz = int(indptr[-1])
+    indices = np.empty(nnz, dtype=np.int64)
+    data = np.empty(nnz, dtype=mat.data.dtype)
+
+    dirty = np.zeros(n, dtype=bool)
+    dirty[rows] = True
+    old_rows = np.repeat(np.arange(n, dtype=np.int64), old_lengths)
+    src = np.flatnonzero(~dirty[old_rows])
+    if src.shape[0]:
+        kept_rows = old_rows[src]
+        pos = src - mat.indptr[kept_rows]
+        dest = indptr[kept_rows] + pos
+        indices[dest] = mat.indices[src]
+        data[dest] = mat.data[src]
+    if new_cols.shape[0]:
+        seg_rows = np.repeat(rows, new_lengths)
+        seg_ends = np.cumsum(new_lengths)
+        pos = np.arange(new_cols.shape[0], dtype=np.int64) - np.repeat(
+            seg_ends - new_lengths, new_lengths
+        )
+        dest = indptr[seg_rows] + pos
+        indices[dest] = new_cols
+        data[dest] = new_data
+    return sp.csr_matrix((data, indices, indptr), shape=mat.shape)
+
+
+def _require_delta(graph: Graph):
+    if graph.delta is None:
+        raise ValueError(
+            "graph carries no GraphDelta; incremental patches need a graph "
+            "produced by rewire_graph / add_edges / remove_edges"
+        )
+    return graph.delta
+
+
+def _new_row_pairs(graph: Graph, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-major sorted ``(row, col)`` adjacency pairs of the *new* graph
+    restricted to ``rows``, assembled from the base CSR plus the delta."""
+    delta = graph.delta
+    base_adj = delta.base.adjacency()
+    nn = np.int64(graph.num_nodes)
+    r0, c0 = _gather_segments(base_adj.indptr, base_adj.indices, rows)
+    if delta.removed.shape[0] and r0.shape[0]:
+        u = delta.removed // nn
+        v = delta.removed % nn
+        gone = np.concatenate([u * nn + v, v * nn + u])
+        keep = np.isin(r0 * nn + c0, gone, invert=True)
+        r0, c0 = r0[keep], c0[keep]
+    if delta.added.shape[0]:
+        u = delta.added // nn
+        v = delta.added % nn
+        in_rows = np.zeros(graph.num_nodes, dtype=bool)
+        in_rows[rows] = True
+        ar = np.concatenate([u[in_rows[u]], v[in_rows[v]]])
+        ac = np.concatenate([v[in_rows[u]], u[in_rows[v]]])
+        r0 = np.concatenate([r0, ar])
+        c0 = np.concatenate([c0, ac])
+    order = np.lexsort((c0, r0))
+    return r0[order], c0[order]
+
+
+# ---------------------------------------------------------------------------
+# Patched propagation matrices
+# ---------------------------------------------------------------------------
+def patched_adjacency(graph: Graph) -> sp.csr_matrix:
+    """``A_new`` spliced from the base adjacency via the graph's delta.
+
+    Only the rows of delta-touched endpoints are rebuilt; every other
+    row's segment is copied verbatim, so the result is bitwise identical
+    to ``graph.adjacency()`` built from scratch.
+    """
+    delta = _require_delta(graph)
+    base_adj = delta.base.adjacency()
+    if delta.is_empty:
+        return base_adj
+    touched = delta.touched_nodes()
+    rows, cols = _new_row_pairs(graph, touched)
+    lengths = np.bincount(rows, minlength=graph.num_nodes)[touched]
+    return _replace_rows(
+        base_adj, touched, cols, np.ones(cols.shape[0]), lengths
+    )
+
+
+def _ensure_adjacency(graph: Graph) -> sp.csr_matrix:
+    """The new graph's adjacency, patched into place if not yet built."""
+    if graph._adj is None:
+        graph._adj = patched_adjacency(graph)
+    return graph._adj
+
+
+def _new_degrees(graph: Graph) -> np.ndarray:
+    delta = graph.delta
+    return delta.base.degrees() + delta.degree_changes()
+
+
+def _inv_sqrt_degrees(deg: np.ndarray, add_self_loops: bool) -> np.ndarray:
+    """``D^{-1/2}`` factors, computed exactly as the fresh ``gcn_norm``
+    build does (float power on the self-loop-augmented degrees) so
+    respliced values are bitwise identical.  Shared by the full-matrix
+    patch and the halo plans — the exactness contract depends on the two
+    paths never diverging."""
+    degv = (deg + 1 if add_self_loops else deg).astype(np.float64)
+    inv = np.zeros_like(degv)
+    nz = degv > 0
+    inv[nz] = degv[nz] ** -0.5
+    return inv
+
+
+def _inv_degrees(deg: np.ndarray, add_self_loops: bool) -> np.ndarray:
+    """``D^{-1}`` factors, the ``row_norm`` twin of
+    :func:`_inv_sqrt_degrees` (same sharing rationale)."""
+    degv = (deg + 1 if add_self_loops else deg).astype(np.float64)
+    inv = np.zeros_like(degv)
+    nz = degv > 0
+    inv[nz] = 1.0 / degv[nz]
+    return inv
+
+
+def _with_self_loops(
+    rows: np.ndarray, cols: np.ndarray, dirty: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Append a ``(r, r)`` entry for every dirty row and restore the
+    row-major sorted order the splice/slice constructors require."""
+    rows = np.concatenate([rows, dirty])
+    cols = np.concatenate([cols, dirty])
+    order = np.lexsort((cols, rows))
+    return rows[order], cols[order]
+
+
+def patched_gcn_norm(
+    graph: Graph, add_self_loops: bool = True, cache_key: str = "gcn_norm"
+) -> sp.csr_matrix:
+    """``D^{-1/2}(A + I)D^{-1/2}`` of a delta-carrying graph by row/col patch.
+
+    Entries can differ from the base matrix only in the rows of touched
+    endpoints and of neighbours of degree-changed endpoints (the
+    symmetric normalisation couples each entry to both endpoint degrees);
+    exactly those rows are respliced with freshly scaled values, the rest
+    is the base matrix's data verbatim.
+    """
+    delta = _require_delta(graph)
+    base = delta.base
+    builder = gcn_norm if add_self_loops else (
+        lambda g: gcn_norm(g, add_self_loops=False)
+    )
+    base_mat = cached_matrix(base, cache_key, builder)
+    if delta.is_empty:
+        return base_mat
+
+    inv_sqrt = _inv_sqrt_degrees(_new_degrees(graph), add_self_loops)
+
+    touched = delta.touched_nodes()
+    deg_changed = np.flatnonzero(delta.degree_changes())
+    dirty = _union(touched, _neighbor_union(base.adjacency(), deg_changed))
+    rows, cols = _new_row_pairs(graph, dirty)
+    if add_self_loops:
+        rows, cols = _with_self_loops(rows, cols, dirty)
+    vals = inv_sqrt[rows] * inv_sqrt[cols]
+    lengths = np.bincount(rows, minlength=graph.num_nodes)[dirty]
+    return _replace_rows(base_mat, dirty, cols, vals, lengths)
+
+
+def patched_row_norm(
+    graph: Graph, add_self_loops: bool = False, cache_key: str = "row_norm"
+) -> sp.csr_matrix:
+    """``D^{-1} A`` of a delta-carrying graph by row patch.
+
+    The row normalisation couples an entry to its *row* degree only, so
+    just the touched endpoints' rows are respliced.
+    """
+    delta = _require_delta(graph)
+    base = delta.base
+    builder = (
+        (lambda g: row_norm(g, add_self_loops=True)) if add_self_loops else row_norm
+    )
+    base_mat = cached_matrix(base, cache_key, builder)
+    if delta.is_empty:
+        return base_mat
+
+    inv = _inv_degrees(_new_degrees(graph), add_self_loops)
+
+    touched = delta.touched_nodes()
+    rows, cols = _new_row_pairs(graph, touched)
+    if add_self_loops:
+        rows, cols = _with_self_loops(rows, cols, touched)
+    vals = inv[rows]
+    lengths = np.bincount(rows, minlength=graph.num_nodes)[touched]
+    return _replace_rows(base_mat, touched, cols, vals, lengths)
+
+
+def patched_two_hop(graph: Graph, cache_key: str = "two_hop") -> sp.csr_matrix:
+    """Strict 2-hop adjacency patched via the delta's 2-hop closure.
+
+    A row of ``A @ A`` can change only if the row's own neighbourhood
+    changed or one of its (old or new) neighbours' did — i.e. inside the
+    1-hop closure of the touched endpoints.  Those rows are recomputed as
+    ``A_new[rows] @ A_new`` with the strict-2-hop cleanup (no ego, no
+    one-hop overlap) and spliced into the base matrix.
+    """
+    delta = _require_delta(graph)
+    base = delta.base
+    base_mat = cached_matrix(base, cache_key, two_hop_adjacency)
+    if delta.is_empty:
+        return base_mat
+
+    adj_new = _ensure_adjacency(graph)
+    touched = delta.touched_nodes()
+    closure = _union(
+        touched,
+        _neighbor_union(base.adjacency(), touched),
+        _neighbor_union(adj_new, touched),
+    )
+    sub = (adj_new[closure] @ adj_new).tocoo()
+    ego = closure[sub.row]
+    col = sub.col.astype(np.int64)
+    keep = col != ego
+    if keep.any():
+        lo = np.minimum(ego, col)
+        hi = np.maximum(ego, col)
+        keys = lo * np.int64(graph.num_nodes) + hi
+        keep &= ~_member_sorted(keys, graph.edge_keys())
+    local_rows = sub.row[keep].astype(np.int64)
+    cols = col[keep]
+    order = np.lexsort((cols, local_rows))
+    local_rows, cols = local_rows[order], cols[order]
+    rows = closure[local_rows]
+    lengths = np.bincount(local_rows, minlength=closure.shape[0])
+    return _replace_rows(
+        base_mat, closure, cols, np.ones(cols.shape[0]), lengths
+    )
+
+
+def _row_slice_matrix(
+    rows: np.ndarray,
+    pair_rows: np.ndarray,
+    pair_cols: np.ndarray,
+    values: np.ndarray,
+    num_cols: int,
+) -> sp.csr_matrix:
+    """A ``(len(rows), num_cols)`` CSR from row-major sorted pairs."""
+    local = np.searchsorted(rows, pair_rows)
+    lengths = np.bincount(local, minlength=rows.shape[0])
+    indptr = np.empty(rows.shape[0] + 1, dtype=np.int64)
+    indptr[0] = 0
+    np.cumsum(lengths, out=indptr[1:])
+    return sp.csr_matrix(
+        (values, pair_cols, indptr), shape=(rows.shape[0], num_cols)
+    )
+
+
+def _halo_matrix(
+    base_mat: sp.csr_matrix,
+    halo: np.ndarray,
+    dirty: np.ndarray,
+    dirty_rows: sp.csr_matrix,
+) -> sp.csr_matrix:
+    """The new graph's propagation rows ``halo`` as a ``(|halo|, N)`` CSR.
+
+    Halo rows outside the dirty set are *unchanged*, so they are extracted
+    from the cached base matrix verbatim (bitwise-identical, C-speed fancy
+    indexing); only the ``dirty`` rows — supplied as the freshly scaled
+    ``dirty_rows`` slice — are respliced.  Per-step cost is proportional
+    to the halo's adjacency volume, never to ``|E|``.
+    """
+    sub = base_mat[halo]
+    return _replace_rows(
+        sub,
+        np.searchsorted(halo, dirty),
+        dirty_rows.indices.astype(np.int64),
+        dirty_rows.data,
+        np.diff(dirty_rows.indptr).astype(np.int64),
+    )
+
+
+#: Cache key -> patcher for :func:`install_propagation_caches`.
+_PATCHERS = {
+    "gcn_norm": patched_gcn_norm,
+    "h2gcn_a1": lambda g: patched_gcn_norm(
+        g, add_self_loops=False, cache_key="h2gcn_a1"
+    ),
+    "row_norm": patched_row_norm,
+    "two_hop": patched_two_hop,
+}
+
+
+def install_propagation_caches(
+    graph: Graph, keys: Tuple[str, ...] = ("gcn_norm", "row_norm")
+) -> None:
+    """Populate ``graph.cache`` with delta-patched propagation matrices.
+
+    Each requested matrix is spliced from the base graph's cached twin
+    (built on demand) instead of being rebuilt from scratch — identical
+    values, a fraction of the work.  Keys already present are left alone.
+    """
+    _require_delta(graph)
+    for key in keys:
+        if key not in graph.cache:
+            graph.cache[key] = _PATCHERS[key](graph)
+
+
+# ---------------------------------------------------------------------------
+# Halo-restricted forward plans (two-layer linear-propagation backbones)
+# ---------------------------------------------------------------------------
+class _GCNPlan:
+    """GCN: ``out = Â (relu(Â (X W1 + b1)) W2 + b2)`` (eval mode).
+
+    ``X W1`` is graph-independent and cached per model version; dirty
+    rows ``R`` of ``Â`` (touched endpoints plus degree-coupled neighbour
+    rows) bound the hidden-layer changes, ``H = R ∪ N_new(R)`` the output
+    changes.
+    """
+
+    matrix_keys = ("gcn_norm",)
+
+    @staticmethod
+    def base_state(model: GCN, graph: Graph) -> Dict[str, np.ndarray]:
+        a_hat = cached_matrix(graph, "gcn_norm", gcn_norm)
+        xw1 = model.lin1(Tensor(graph.features)).data
+        h1 = np.asarray(a_hat @ xw1)
+        h1 = h1 * (h1 > 0)
+        z = model.lin2(Tensor(h1)).data
+        out = np.asarray(a_hat @ z)
+        return {"a_hat": a_hat, "xw1": xw1, "z": z, "out": out}
+
+    @staticmethod
+    def prepare(graph: Graph) -> Tuple[np.ndarray, np.ndarray, dict]:
+        delta = graph.delta
+        change = delta.degree_changes()
+        touched = delta.touched_nodes()
+        # Rows of Â that can change: edited endpoints plus neighbours of
+        # degree-changed endpoints (the symmetric normalisation couples an
+        # entry to both endpoint degrees).
+        dirty = _union(
+            touched,
+            _neighbor_union(delta.base.adjacency(), np.flatnonzero(change)),
+        )
+        pairs = _new_row_pairs(graph, dirty)
+        ctx = {"pairs": pairs, "deg": delta.base.degrees() + change}
+        return dirty, _union(dirty, pairs[1]), ctx
+
+    @staticmethod
+    def logits(
+        model: GCN,
+        graph: Graph,
+        state: Dict[str, np.ndarray],
+        dirty: np.ndarray,
+        halo: np.ndarray,
+        ctx: dict,
+    ) -> np.ndarray:
+        inv_sqrt = _inv_sqrt_degrees(ctx["deg"], add_self_loops=True)
+        pr, pc = _with_self_loops(*ctx["pairs"], dirty)
+        a_dirty = _row_slice_matrix(
+            dirty, pr, pc, inv_sqrt[pr] * inv_sqrt[pc], graph.num_nodes
+        )
+        a_halo = _halo_matrix(state["a_hat"], halo, dirty, a_dirty)
+        h1 = ops.relu(ops.spmm(a_dirty, Tensor(state["xw1"]))).data
+        z_rows = model.lin2(Tensor(h1)).data
+        z = ops.scatter_patch_rows(Tensor(state["z"]), dirty, Tensor(z_rows)).data
+        out_rows = ops.spmm(a_halo, Tensor(z)).data
+        return ops.scatter_patch_rows(
+            Tensor(state["out"]), halo, Tensor(out_rows)
+        ).data
+
+
+class _SAGEPlan:
+    """GraphSAGE (mean aggregator): row-normalised ``M = D^{-1}A`` couples
+    an entry only to its row degree, so the dirty rows are exactly the
+    touched endpoints and ``H = D ∪ N_new(D)``.
+    """
+
+    matrix_keys = ("row_norm",)
+
+    @staticmethod
+    def base_state(model: GraphSAGE, graph: Graph) -> Dict[str, np.ndarray]:
+        m = cached_matrix(graph, "row_norm", row_norm)
+        x = Tensor(graph.features)
+        s1x = model.self1(x).data
+        h1 = s1x + model.neigh1(Tensor(np.asarray(m @ graph.features))).data
+        h1 = h1 * (h1 > 0)
+        out = (
+            model.self2(Tensor(h1)).data
+            + model.neigh2(Tensor(np.asarray(m @ h1))).data
+        )
+        return {"m": m, "s1x": s1x, "h1": h1, "out": out}
+
+    @staticmethod
+    def prepare(graph: Graph) -> Tuple[np.ndarray, np.ndarray, dict]:
+        delta = graph.delta
+        touched = delta.touched_nodes()
+        pairs = _new_row_pairs(graph, touched)
+        ctx = {"pairs": pairs, "deg": delta.base.degrees() + delta.degree_changes()}
+        return touched, _union(touched, pairs[1]), ctx
+
+    @staticmethod
+    def logits(
+        model: GraphSAGE,
+        graph: Graph,
+        state: Dict[str, np.ndarray],
+        dirty: np.ndarray,
+        halo: np.ndarray,
+        ctx: dict,
+    ) -> np.ndarray:
+        inv = _inv_degrees(ctx["deg"], add_self_loops=False)
+        pr, pc = ctx["pairs"]
+        m_dirty = _row_slice_matrix(dirty, pr, pc, inv[pr], graph.num_nodes)
+        m_halo = _halo_matrix(state["m"], halo, dirty, m_dirty)
+        mx = ops.spmm(m_dirty, Tensor(graph.features)).data
+        h1_rows = state["s1x"][dirty] + model.neigh1(Tensor(mx)).data
+        h1_rows = h1_rows * (h1_rows > 0)
+        h1 = ops.scatter_patch_rows(
+            Tensor(state["h1"]), dirty, Tensor(h1_rows)
+        ).data
+        mh = ops.spmm(m_halo, Tensor(h1)).data
+        out_rows = (
+            model.self2(Tensor(h1[halo])).data + model.neigh2(Tensor(mh)).data
+        )
+        return ops.scatter_patch_rows(
+            Tensor(state["out"]), halo, Tensor(out_rows)
+        ).data
+
+
+#: Backbones with an exact halo-restricted evaluation plan.
+_PLANS = {GCN: _GCNPlan, GraphSAGE: _SAGEPlan}
+
+#: Propagation caches worth delta-patching before a dense forward, for
+#: backbones without a halo plan (GAT consumes an edge list, not a cached
+#: matrix, so it has nothing to patch).
+_FALLBACK_MATRIX_KEYS = {
+    GCN: ("gcn_norm",),
+    GraphSAGE: ("row_norm",),
+    H2GCN: ("h2gcn_a1", "two_hop"),
+    MixHop: ("gcn_norm",),
+}
+
+
+def supports_incremental(model: GNNBackbone) -> bool:
+    """Whether ``model`` has a halo-restricted incremental forward plan."""
+    return type(model) in _PLANS
+
+
+# ---------------------------------------------------------------------------
+# The evaluator the RL envs call per reward step
+# ---------------------------------------------------------------------------
+class IncrementalEvaluator:
+    """Reward evaluation that re-computes only a rewire's halo.
+
+    Bound to one model and one immutable base graph — the setting of the
+    topology MDP, where every candidate is a small edit of the same base.
+    Per model version (:meth:`invalidate` after any weight update) the
+    evaluator caches the base graph's eval-mode activations; a
+    delta-carrying graph is then scored by patching the cached propagation
+    matrices (:func:`install_propagation_caches`) and re-running the
+    forward on the edit's halo only.  Everything else — unsupported
+    backbones, foreign graphs, halos above ``max_halo_frac`` of the nodes
+    — falls back transparently to the dense full-graph evaluation, still
+    delta-patching the backbone's known propagation caches first where
+    possible (:data:`_FALLBACK_MATRIX_KEYS`).  ``stats`` counts which path
+    each call took.
+    """
+
+    def __init__(
+        self,
+        model: GNNBackbone,
+        base_graph: Graph,
+        max_halo_frac: float = 0.5,
+    ) -> None:
+        self.model = model
+        self.base_graph = base_graph
+        self.max_halo_frac = float(max_halo_frac)
+        self._plan = _PLANS.get(type(model))
+        self._state: Optional[Dict[str, np.ndarray]] = None
+        self.stats = {
+            "base_hits": 0,
+            "halo_evals": 0,
+            "full_evals": 0,
+            "invalidations": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop the cached base activations (call after any weight update)."""
+        self._state = None
+        self.stats["invalidations"] += 1
+
+    def _ensure_state(self) -> Dict[str, np.ndarray]:
+        if self._state is None:
+            self._state = self._plan.base_state(self.model, self.base_graph)
+        return self._state
+
+    def _eligible(self, graph: Graph) -> bool:
+        return self._plan is not None and self._has_delta(graph)
+
+    def _full_logits(self, graph: Graph) -> np.ndarray:
+        self.stats["full_evals"] += 1
+        return self.model.predict_logits(graph)
+
+    def _has_delta(self, graph: Graph) -> bool:
+        return graph.delta is not None and graph.delta.base is self.base_graph
+
+    # ------------------------------------------------------------------
+    def predict_logits(self, graph: Graph) -> np.ndarray:
+        """Full-graph eval-mode logits of ``graph`` under the bound model."""
+        if self._plan is not None and graph is self.base_graph:
+            self.stats["base_hits"] += 1
+            return self._ensure_state()["out"].copy()
+        if not self._eligible(graph):
+            if self._plan is None and self._has_delta(graph):
+                # No halo plan for this backbone, but its propagation
+                # caches can still be delta-patched before the dense
+                # forward (H2GCN's A @ A rebuild is the big win here).
+                keys = _FALLBACK_MATRIX_KEYS.get(type(self.model), ())
+                if "h2gcn_a2" in graph.cache:
+                    # The raw two-hop patch only feeds the normalized
+                    # "h2gcn_a2" build; once that twin is memoised
+                    # (revisited memo graphs, post-co-training re-scores)
+                    # re-patching it would be pure waste.
+                    keys = tuple(k for k in keys if k != "two_hop")
+                if keys:
+                    install_propagation_caches(graph, keys)
+                    logits = self._full_logits(graph)
+                    # Same rationale: drop the raw two-hop rather than
+                    # retain the densest matrix twice per memoised graph.
+                    if "two_hop" in keys:
+                        graph.cache.pop("two_hop", None)
+                    return logits
+            return self._full_logits(graph)
+        state = self._ensure_state()
+        if graph.delta.is_empty:
+            self.stats["base_hits"] += 1
+            return state["out"].copy()
+        dirty, halo, ctx = self._plan.prepare(graph)
+        if halo.shape[0] > self.max_halo_frac * graph.num_nodes:
+            # Too much of the graph is dirty for row slicing to pay off;
+            # patch the full propagation matrices into the graph's cache
+            # (cheaper than a rebuild) and run the dense forward.
+            install_propagation_caches(graph, self._plan.matrix_keys)
+            return self._full_logits(graph)
+        self.stats["halo_evals"] += 1
+        return self._plan.logits(self.model, graph, state, dirty, halo, ctx)
+
+    def evaluate(
+        self, graph: Graph, mask: np.ndarray, return_logits: bool = False
+    ):
+        """Eval-mode ``(accuracy, loss)`` on ``mask``.
+
+        The twin of :func:`repro.gnn.trainer.evaluate`, computed from the
+        incrementally patched logits through :func:`_masked_metrics` — the
+        same float operations in the same order, without the autograd
+        bookkeeping.  ``return_logits`` appends the full-graph logits to
+        the tuple so callers needing both (the AUC reward) pay for one
+        evaluation only.
+        """
+        logits = self.predict_logits(graph)
+        acc, loss = _masked_metrics(logits, graph.labels, mask)
+        if return_logits:
+            return acc, loss, logits
+        return acc, loss
+
+
+def _masked_metrics(
+    logits: np.ndarray, labels: np.ndarray, mask: np.ndarray
+) -> Tuple[float, float]:
+    """``(accuracy, cross-entropy)`` on ``mask`` from plain logits.
+
+    Bitwise twin of ``evaluate``'s ``cross_entropy`` + ``accuracy`` pair:
+    identical reductions in identical order (max-shifted log-softmax, sum
+    along the class axis, pairwise sum then ``* (1/m)`` mean), minus the
+    Tensor graph construction — the per-step fixed cost the reward loop
+    does not need.
+    """
+    mask = np.asarray(mask)
+    if mask.dtype == bool:
+        mask = np.flatnonzero(mask)
+    picked_logits = logits[mask]
+    targets = np.asarray(labels, dtype=np.int64)[mask]
+    m = targets.shape[0]
+    if m == 0:
+        return 0.0, 0.0
+    shifted = picked_logits - picked_logits.max(axis=-1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_probs = shifted - log_z
+    picked = log_probs[np.arange(m), targets]
+    loss = -(picked.sum() * (1.0 / m))
+    acc = float((picked_logits.argmax(axis=-1) == targets).mean())
+    return acc, float(loss)

@@ -224,7 +224,13 @@ class H2GCN(GNNBackbone):
 def _normalized_two_hop(graph: Graph):
     import scipy.sparse as sp
 
-    two = two_hop_adjacency(graph)
+    # Consume the incremental engine's delta-patched matrix
+    # (repro.gnn.incremental.patched_two_hop, installed under "two_hop")
+    # when available; otherwise build transiently — the raw A @ A matrix
+    # is not worth retaining next to the normalized "h2gcn_a2" cache.
+    two = graph.cache.get("two_hop")
+    if two is None:
+        two = two_hop_adjacency(graph)
     deg = np.asarray(two.sum(axis=1)).ravel()
     inv_sqrt = np.zeros_like(deg)
     nz = deg > 0

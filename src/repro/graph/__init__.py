@@ -12,7 +12,7 @@ from .algorithms import (
     to_networkx,
     within_k_hops,
 )
-from .graph import Edge, Graph, canonical_edge
+from .graph import Edge, Graph, GraphDelta, canonical_edge
 from .io import load_edge_list, load_graph, save_edge_list, save_graph
 from .metrics import class_distribution, degree_statistics, homophily_ratio
 from .normalize import adjacency_from_matrix, gcn_norm, row_norm, two_hop_adjacency
@@ -21,6 +21,7 @@ from .splits import Split, geom_gcn_splits, random_split
 __all__ = [
     "Edge",
     "Graph",
+    "GraphDelta",
     "Split",
     "adjacency_from_matrix",
     "canonical_edge",

@@ -21,6 +21,114 @@ import scipy.sparse as sp
 Edge = Tuple[int, int]
 
 
+class GraphDelta:
+    """The edge-level difference between a graph and the base it came from.
+
+    Functional updates (:func:`repro.core.rewire.rewire_graph`,
+    :meth:`Graph.add_edges`, :meth:`Graph.remove_edges`) already know exactly
+    which canonical edge keys they inserted and deleted; recording that
+    knowledge on the derived graph lets downstream consumers — the
+    incremental reward engine above all — patch cached propagation matrices
+    and re-evaluate only the edit's halo instead of rebuilding from scratch.
+
+    ``base`` is a live reference: it keeps the root graph (and whatever is
+    memoised in its ``cache``) alive for the derived graph's lifetime.
+    That is exactly what the reward loop wants — every rewire shares one
+    immutable base — but a caller deriving a graph only to discard the
+    original can sever the link with ``derived.delta = None``.
+
+    Attributes
+    ----------
+    base:
+        The graph this delta is measured against (shared, not copied).
+    added:
+        Sorted canonical keys (``u * N + v``, ``u < v``) present in the
+        derived graph but not in ``base``.
+    removed:
+        Sorted canonical keys present in ``base`` but not in the derived
+        graph.
+    """
+
+    __slots__ = ("base", "added", "removed")
+
+    def __init__(
+        self, base: "Graph", added: np.ndarray, removed: np.ndarray
+    ) -> None:
+        self.base = base
+        self.added = np.asarray(added, dtype=np.int64)
+        self.removed = np.asarray(removed, dtype=np.int64)
+
+    @property
+    def num_edits(self) -> int:
+        """Total number of inserted plus deleted edges."""
+        return int(self.added.shape[0] + self.removed.shape[0])
+
+    @property
+    def is_empty(self) -> bool:
+        return self.num_edits == 0
+
+    def edit_pairs(self) -> np.ndarray:
+        """All edited edges as an ``(num_edits, 2)`` canonical-pair array."""
+        keys = np.concatenate([self.added, self.removed])
+        n = np.int64(self.base.num_nodes)
+        return np.stack([keys // n, keys % n], axis=1)
+
+    def touched_nodes(self) -> np.ndarray:
+        """Sorted unique endpoints of every inserted or deleted edge."""
+        if self.is_empty:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(self.edit_pairs().ravel())
+
+    def degree_changes(self) -> np.ndarray:
+        """Per-node signed degree difference (derived minus base)."""
+        n = self.base.num_nodes
+        change = np.zeros(n, dtype=np.int64)
+        nn = np.int64(n)
+        if self.added.shape[0]:
+            pairs = np.stack([self.added // nn, self.added % nn], axis=1)
+            change += np.bincount(pairs.ravel(), minlength=n)
+        if self.removed.shape[0]:
+            pairs = np.stack([self.removed // nn, self.removed % nn], axis=1)
+            change -= np.bincount(pairs.ravel(), minlength=n)
+        return change
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphDelta(+{self.added.shape[0]} edges, "
+            f"-{self.removed.shape[0]} edges)"
+        )
+
+
+def _member_sorted(keys: np.ndarray, sorted_keys: np.ndarray) -> np.ndarray:
+    """Membership of ``keys`` in the sorted unique ``sorted_keys`` via
+    binary search — O(len(keys) log E), no concat-sort like ``np.isin``."""
+    if not sorted_keys.shape[0]:
+        return np.zeros(keys.shape[0], dtype=bool)
+    pos = np.minimum(
+        np.searchsorted(sorted_keys, keys), sorted_keys.shape[0] - 1
+    )
+    return sorted_keys[pos] == keys
+
+
+def _collapsed_delta(base: "Graph", keys: np.ndarray) -> GraphDelta:
+    """Delta of the key set ``keys`` against ``base``'s *root* graph.
+
+    When ``base`` itself carries a delta, the new delta is recorded
+    against that delta's base instead — iterative edits
+    (``g = g.add_edges(...)`` in a loop) therefore never build a chain of
+    back-references pinning every intermediate graph (and its
+    propagation-matrix cache) in memory, and a consumer bound to the root
+    (the incremental evaluator) stays eligible across chained edits.
+    """
+    root = base.delta.base if base.delta is not None else base
+    root_keys = root.edge_keys()
+    return GraphDelta(
+        root,
+        keys[np.isin(keys, root_keys, assume_unique=True, invert=True)],
+        root_keys[np.isin(root_keys, keys, assume_unique=True, invert=True)],
+    )
+
+
 def canonical_edge(u: int, v: int) -> Edge:
     """Return the undirected edge ``{u, v}`` in sorted-tuple form."""
     return (u, v) if u < v else (v, u)
@@ -108,6 +216,9 @@ class Graph:
         self._edge_array: Optional[np.ndarray] = None
         self._adj: Optional[sp.csr_matrix] = None
         self._deg: Optional[np.ndarray] = None
+        self.delta: Optional[GraphDelta] = None
+        """Edge delta against the graph this one was derived from, when the
+        constructing operation knows it (see :class:`GraphDelta`)."""
         self.cache: dict = {}
         """Scratch space for derived structures (propagation matrices, ...).
 
@@ -285,38 +396,68 @@ class Graph:
         return Graph(self.num_nodes, edges, self.features, self.labels)
 
     def add_edges(self, new_edges: Iterable[Edge]) -> "Graph":
-        """A copy with ``new_edges`` added (self-loops silently skipped)."""
+        """A copy with ``new_edges`` added (self-loops silently skipped).
+
+        The result carries a :class:`GraphDelta` against this graph's root
+        (see :func:`_collapsed_delta`) recording the genuinely new keys.
+        """
+        empty = np.empty(0, dtype=np.int64)
         arr = _edges_to_array(new_edges)
         arr = arr[arr[:, 0] != arr[:, 1]]
         if not arr.shape[0]:
-            return Graph._from_keys(
-                self.num_nodes, self._edge_keys, self.features, self.labels
-            )
-        bad = (arr < 0) | (arr >= self.num_nodes)
-        if bad.any():
-            u, v = (int(x) for x in arr[bad.any(axis=1)][0])
-            raise ValueError(f"edge ({u}, {v}) out of range for N={self.num_nodes}")
-        lo = np.minimum(arr[:, 0], arr[:, 1])
-        hi = np.maximum(arr[:, 0], arr[:, 1])
-        keys = np.union1d(self._edge_keys, lo * np.int64(self.num_nodes) + hi)
-        return Graph._from_keys(self.num_nodes, keys, self.features, self.labels)
+            keys = self._edge_keys
+            added = empty
+        else:
+            bad = (arr < 0) | (arr >= self.num_nodes)
+            if bad.any():
+                u, v = (int(x) for x in arr[bad.any(axis=1)][0])
+                raise ValueError(
+                    f"edge ({u}, {v}) out of range for N={self.num_nodes}"
+                )
+            lo = np.minimum(arr[:, 0], arr[:, 1])
+            hi = np.maximum(arr[:, 0], arr[:, 1])
+            new_keys = np.unique(lo * np.int64(self.num_nodes) + hi)
+            added = new_keys[~_member_sorted(new_keys, self._edge_keys)]
+            keys = np.union1d(self._edge_keys, new_keys)
+        g = Graph._from_keys(self.num_nodes, keys, self.features, self.labels)
+        # O(|edits| log E) delta on the common unchained case; collapse to
+        # the root otherwise so chains never pin intermediates.
+        if self.delta is None:
+            g.delta = GraphDelta(self, added, empty)
+        else:
+            g.delta = _collapsed_delta(self, keys)
+        return g
 
     def remove_edges(self, gone_edges: Iterable[Edge]) -> "Graph":
-        """A copy with ``gone_edges`` removed (absent edges ignored)."""
+        """A copy with ``gone_edges`` removed (absent edges ignored).
+
+        The result carries a :class:`GraphDelta` against this graph's root
+        (see :func:`_collapsed_delta`) recording the keys actually present
+        and removed.
+        """
+        empty = np.empty(0, dtype=np.int64)
         arr = _edges_to_array(gone_edges)
         if arr.shape[0]:
             # Out-of-range pairs cannot be present, but their lo*N+hi key
             # could alias a real edge's — drop them before keying.
             arr = arr[((arr >= 0) & (arr < self.num_nodes)).all(axis=1)]
         if not arr.shape[0]:
-            return Graph._from_keys(
-                self.num_nodes, self._edge_keys, self.features, self.labels
-            )
-        lo = np.minimum(arr[:, 0], arr[:, 1])
-        hi = np.maximum(arr[:, 0], arr[:, 1])
-        gone = np.unique(lo * np.int64(self.num_nodes) + hi)
-        keys = np.setdiff1d(self._edge_keys, gone, assume_unique=True)
-        return Graph._from_keys(self.num_nodes, keys, self.features, self.labels)
+            keys = self._edge_keys
+            removed = empty
+        else:
+            lo = np.minimum(arr[:, 0], arr[:, 1])
+            hi = np.maximum(arr[:, 0], arr[:, 1])
+            gone = np.unique(lo * np.int64(self.num_nodes) + hi)
+            removed = gone[_member_sorted(gone, self._edge_keys)]
+            keys = self._edge_keys[~_member_sorted(self._edge_keys, removed)]
+        g = Graph._from_keys(self.num_nodes, keys, self.features, self.labels)
+        # O(|edits| log E) delta on the common unchained case; collapse to
+        # the root otherwise so chains never pin intermediates.
+        if self.delta is None:
+            g.delta = GraphDelta(self, empty, removed)
+        else:
+            g.delta = _collapsed_delta(self, keys)
+        return g
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:

@@ -19,6 +19,10 @@ this layer does once per batched step:
   graph (``B * N`` nodes, per-episode blocks, shared tiled features) scores
   every live episode in a single call; per-episode accuracy and
   cross-entropy fall out of segment reductions on the stacked logits.
+  With ``config.incremental_reward`` the stacked graph additionally
+  carries the block-diagonal union of the per-episode edge deltas, so the
+  incremental engine (:mod:`repro.gnn.incremental`) re-evaluates only the
+  blocks' edit halos against cached stacked-base logits.
 * **Autoreset** — gym-style: finished episodes restart immediately, the
   terminal observation and an episode summary ride along in the per-episode
   ``info`` dicts.
@@ -36,6 +40,7 @@ evaluation at batch width.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -44,10 +49,11 @@ from ...core.env import (
     TopologyEnv,
     fill_observation,
     observation_template,
+    reward_metrics,
 )
 from ...core.rewire import clamp_state_batch, rewire_graph, state_bounds
-from ...gnn.trainer import evaluate
-from ...graph import Graph, homophily_ratio
+from ...gnn.incremental import IncrementalEvaluator
+from ...graph import Graph, GraphDelta, homophily_ratio
 from ...nn import macro_auc
 from ...tensor import Tensor
 from ..env import MultiDiscreteSpace
@@ -131,10 +137,30 @@ class VecTopologyEnv(VecEnv):
         self._stacked_cache: Dict[tuple, tuple] = {}
 
         # --- shared cross-env/cross-episode rewire memo ---------------
-        self._rewire_cache: Dict[bytes, Graph] = {}
+        self._rewire_cache: "OrderedDict[bytes, Graph]" = OrderedDict()
         self._rewire_cache_limit = TopologyEnv.REWIRE_CACHE_LIMIT * self.num_envs
         self._rewire_hits = 0
         self._rewire_misses = 0
+
+        # --- incremental reward engine --------------------------------
+        # One evaluator over the delta root (the base graph, or the graph
+        # it was derived from — rewire deltas collapse to the root) for
+        # per-episode scoring, and one over the block-diagonal stacked
+        # root for the batched forward; both patch matrices /
+        # halo-evaluate from the per-episode deltas the rewire engine
+        # records.  The stacked root (B copies of its edge keys) and its
+        # evaluator are built lazily on the first stacked evaluation —
+        # reward_batching="loop" never pays for them.
+        self._delta_root: Graph = (
+            graph.delta.base if graph.delta is not None else graph
+        )
+        self._stacked_base_graph: Optional[Graph] = None
+        self._inc: Optional[IncrementalEvaluator] = (
+            IncrementalEvaluator(model, self._delta_root)
+            if config.incremental_reward
+            else None
+        )
+        self._inc_stacked: Optional[IncrementalEvaluator] = None
 
         # --- global co-training record (one shared model) -------------
         self.best_acc = 0.0
@@ -170,12 +196,9 @@ class VecTopologyEnv(VecEnv):
     # ------------------------------------------------------------------
     def _metrics_single(self, graph: Graph) -> Tuple[float, float]:
         """Sequential-env-identical (score, loss) for one episode graph."""
-        acc, loss = evaluate(self.model, graph, self.split.train)
-        if self.config.reward == "auc":
-            logits = self.model.predict_logits(graph)
-            score = macro_auc(logits, graph.labels, self.split.train)
-            return score, loss
-        return acc, loss
+        return reward_metrics(
+            self.model, graph, self.split.train, self.config.reward, self._inc
+        )
 
     def _base_metrics(self) -> Tuple[float, float]:
         """Metrics of the base graph under the current model, memoised per
@@ -203,35 +226,109 @@ class VecTopologyEnv(VecEnv):
         if hit is not None:
             return hit[1]
         n = self.base_graph.num_nodes
-        big_n = np.int64(self.num_envs * n)
         parts = []
         for b, g in enumerate(graphs):
             ea = g.edge_array()
             if ea.shape[0]:
-                off = np.int64(b * n)
-                parts.append((ea[:, 0] + off) * big_n + (ea[:, 1] + off))
+                parts.append(self._block_offset_keys(ea[:, 0], ea[:, 1], b))
         keys = (
             np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
         )
         stacked = Graph._from_keys(
-            int(big_n), keys, self._stacked_features, self._stacked_labels
+            self.num_envs * n, keys, self._stacked_features,
+            self._stacked_labels,
         )
+        if self._inc is not None:
+            self._attach_stacked_delta(stacked, graphs)
         while len(self._stacked_cache) >= STACKED_CACHE_LIMIT:
             self._stacked_cache.pop(next(iter(self._stacked_cache)))
         # The entry pins the per-episode graphs, keeping the id-key valid.
         self._stacked_cache[key] = (list(graphs), stacked)
         return stacked
 
+    def _block_offset_keys(
+        self, u: np.ndarray, v: np.ndarray, block: int
+    ) -> np.ndarray:
+        """Canonical keys of edges ``(u, v)`` placed in block ``block`` of
+        the ``B * N`` block-diagonal id space — the one encoding shared by
+        the stacked graph, the stacked root and the stacked delta."""
+        n = self.base_graph.num_nodes
+        off = np.int64(block * n)
+        big = np.int64(self.num_envs * n)
+        return (u + off) * big + (v + off)
+
+    def _get_stacked_base(self) -> Graph:
+        """``B`` block-diagonal copies of the delta root — the reference
+        topology the stacked incremental evaluator caches logits for."""
+        if self._stacked_base_graph is None:
+            ea = self._delta_root.edge_array()
+            if ea.shape[0]:
+                keys = np.concatenate(
+                    [
+                        self._block_offset_keys(ea[:, 0], ea[:, 1], b)
+                        for b in range(self.num_envs)
+                    ]
+                )
+            else:
+                keys = np.empty(0, dtype=np.int64)
+            self._stacked_base_graph = Graph._from_keys(
+                self.num_envs * self.base_graph.num_nodes, keys,
+                self._stacked_features, self._stacked_labels,
+            )
+        return self._stacked_base_graph
+
+    def _attach_stacked_delta(
+        self, stacked: Graph, graphs: List[Graph]
+    ) -> None:
+        """Record the stacked graph's edge delta against the stacked base.
+
+        The block-diagonal union of per-episode deltas (offset into each
+        episode's node range) *is* the stacked delta, so the stacked
+        forward inherits the halo-restricted path for free.  Episodes of
+        unknown provenance (no delta against the shared root) leave the
+        stacked graph delta-less — the evaluator then falls back to the
+        dense stacked forward.
+        """
+        n = self.base_graph.num_nodes
+        added: List[np.ndarray] = []
+        removed: List[np.ndarray] = []
+        for b, g in enumerate(graphs):
+            if g is self._delta_root:
+                continue
+            delta = g.delta
+            if delta is None or delta.base is not self._delta_root:
+                return
+            for keys, out in ((delta.added, added), (delta.removed, removed)):
+                if keys.shape[0]:
+                    out.append(
+                        self._block_offset_keys(keys // n, keys % n, b)
+                    )
+        empty = np.empty(0, dtype=np.int64)
+        stacked.delta = GraphDelta(
+            self._get_stacked_base(),
+            np.concatenate(added) if added else empty,
+            np.concatenate(removed) if removed else empty,
+        )
+
     def _stacked_metrics(
         self, graphs: List[Graph]
     ) -> Tuple[np.ndarray, np.ndarray]:
         """(scores, losses) of every episode from one stacked forward."""
         stacked = self._stacked_graph(graphs)
-        was_training = self.model.training
-        self.model.eval()
-        logits = self.model(stacked, Tensor(self._stacked_features)).data
-        if was_training:
-            self.model.train()
+        if self._inc is not None:
+            # Halo-restricted stacked evaluation: only the blocks' edit
+            # halos are re-scored against the cached stacked-base logits.
+            if self._inc_stacked is None:
+                self._inc_stacked = IncrementalEvaluator(
+                    self.model, self._get_stacked_base()
+                )
+            logits = self._inc_stacked.predict_logits(stacked)
+        else:
+            was_training = self.model.training
+            self.model.eval()
+            logits = self.model(stacked, Tensor(self._stacked_features)).data
+            if was_training:
+                self.model.train()
 
         B, n = self.num_envs, self.base_graph.num_nodes
         per_env = logits.reshape(B, n, -1)
@@ -293,10 +390,12 @@ class VecTopologyEnv(VecEnv):
                 remove_edges=self.config.remove_edges,
             )
             while len(self._rewire_cache) >= self._rewire_cache_limit:
-                self._rewire_cache.pop(next(iter(self._rewire_cache)))
+                self._rewire_cache.popitem(last=False)
             self._rewire_cache[key] = graph
         else:
             self._rewire_hits += 1
+            # True LRU: a hit refreshes recency so hot states survive.
+            self._rewire_cache.move_to_end(key)
         return graph
 
     # ------------------------------------------------------------------
@@ -376,6 +475,10 @@ class VecTopologyEnv(VecEnv):
                         patience=self.config.co_train_patience,
                     )
                     self._model_version += 1
+                    if self._inc is not None:
+                        self._inc.invalidate()
+                    if self._inc_stacked is not None:
+                        self._inc_stacked.invalidate()
                     scores[b], losses[b] = self._metrics_single(graphs[b])
 
         self.prev_score = scores

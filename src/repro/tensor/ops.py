@@ -311,17 +311,77 @@ def spmm(matrix: sp.spmatrix, x: Tensor) -> Tensor:
     """Multiply a *constant* scipy sparse matrix by a dense tensor.
 
     The sparse operand carries no gradient (it encodes graph structure);
-    the gradient w.r.t. ``x`` is ``matrix.T @ grad``.
+    the gradient w.r.t. ``x`` is ``matrix.T @ grad``.  The CSR transpose is
+    only needed for that backward pass, so it is constructed lazily on the
+    first backward call and memoised for the call's lifetime — eval-mode
+    forwards (the reward evaluations dominating the RL loop) never build it.
     """
     x = _t(x)
     matrix = matrix.tocsr()
     out_data = np.asarray(matrix @ x.data)
-    matrix_t = matrix.T.tocsr()
+    transposed: list = []
 
     def backward(grad: np.ndarray) -> None:
-        x._accumulate(np.asarray(matrix_t @ grad))
+        if not transposed:
+            transposed.append(matrix.T.tocsr())
+        x._accumulate(np.asarray(transposed[0] @ grad))
 
     return Tensor._make(out_data, (x,), backward)
+
+
+def spmm_rows(matrix: sp.spmatrix, rows: np.ndarray, x: Tensor) -> Tensor:
+    """Selected rows of ``matrix @ x`` without forming the full product.
+
+    Equivalent to ``gather_rows(spmm(matrix, x), rows)`` but only the
+    requested rows are ever multiplied — the subset-*output* companion to
+    :func:`scatter_patch_rows` for propagation models that only need a
+    node subset's outputs (e.g. masked evaluation).  The halo evaluator's
+    own stages pre-assemble delta-patched row slices and run plain
+    :func:`spmm` over them (its dirty rows carry values no existing
+    matrix holds), so this op is the caller-facing shorthand for the
+    unmodified-matrix case.  The gradient w.r.t. ``x`` is
+    ``matrix[rows].T @ grad`` (the transpose again built lazily, only
+    under backward).
+    """
+    x = _t(x)
+    rows = np.asarray(rows, dtype=np.int64)
+    sub = matrix.tocsr()[rows]
+    out_data = np.asarray(sub @ x.data)
+    transposed: list = []
+
+    def backward(grad: np.ndarray) -> None:
+        if not transposed:
+            transposed.append(sub.T.tocsr())
+        x._accumulate(np.asarray(transposed[0] @ grad))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def scatter_patch_rows(base: Tensor, rows: np.ndarray, patch: Tensor) -> Tensor:
+    """Out-of-place row replacement: ``out[rows] = patch``, rest from ``base``.
+
+    ``rows`` must be unique (each row has one source).  Gradients split
+    accordingly: ``patch`` receives ``grad[rows]``, ``base`` receives the
+    gradient with the patched rows zeroed — together the exact adjoint of
+    the select.  This is the patch-back step of the incremental evaluator:
+    recomputed halo rows are scattered into the cached base activations.
+    """
+    base, patch = _t(base), _t(patch)
+    rows = np.asarray(rows, dtype=np.int64)
+    if patch.shape[0] != rows.shape[0]:
+        raise ValueError(
+            f"patch has {patch.shape[0]} rows for {rows.shape[0]} indices"
+        )
+    out_data = base.data.copy()
+    out_data[rows] = patch.data
+
+    def backward(grad: np.ndarray) -> None:
+        masked = grad.copy()
+        masked[rows] = 0.0
+        base._accumulate(masked)
+        patch._accumulate(grad[rows])
+
+    return Tensor._make(out_data, (base, patch), backward)
 
 
 # ---------------------------------------------------------------------------
