@@ -1,18 +1,25 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test bench-smoke bench-scaling bench-rollout bench-entropy bench-reward
+.PHONY: test doclint bench-smoke bench-scaling bench-rollout bench-entropy bench-reward bench-halo
 
 test:
 	$(PY) -m pytest -x -q
 
-# Fast sanity run (< 60 s): the CSR scaling benchmark at small N (asserts
-# the >= 5x speedup contract) plus a small-N pass of the incremental
-# reward engine (equivalence checked; the 4x contract is pinned to N=5k,
-# so the small run reports without gating).  Both respect
+# Docstring lint (pydocstyle-equivalent, dependency-free): every public
+# symbol of repro.gnn must carry a docstring.  Mirrored in the tier-1
+# suite (tests/gnn/test_docstrings.py) and run as a CI step.
+doclint:
+	python tools/doclint.py src/repro/gnn
+
+# Fast sanity run (< 90 s): the CSR scaling benchmark at small N (asserts
+# the >= 5x speedup contract) plus small-N passes of both incremental
+# reward engines (equivalence checked; the speed contracts are pinned to
+# N=5k, so the small runs report without gating).  All respect
 # BENCH_SKIP_CONTRACT=1 on noisy shared runners.
 bench-smoke:
 	$(PY) benchmarks/bench_scaling_rewire.py --sizes 1000 5000 --steps 5
 	$(PY) benchmarks/bench_incremental_reward.py --nodes 1500 --edits 2 --steps 6 --repeats 2
+	$(PY) benchmarks/bench_halo_backbones.py --nodes 1500 --edits 2 --steps 4 --repeats 2
 
 # Full trajectory including the 20k-node fast-path-only point.
 bench-scaling:
@@ -36,3 +43,11 @@ bench-entropy:
 # on the (graphsage, 8-edit) row, and writes JSON into bench_results/.
 bench-reward:
 	$(PY) benchmarks/bench_incremental_reward.py
+
+# Halo plans for the attention/deep backbones (GAT edge-softmax resplice,
+# H2GCN/MixHop column corrections) vs dense re-evaluation at N = 5k on a
+# sparse heterophily graph; verifies metric/logit equivalence, asserts
+# the >= 3x contract on the gat AND h2gcn 4-edit rows, and writes JSON
+# into bench_results/.
+bench-halo:
+	$(PY) benchmarks/bench_halo_backbones.py

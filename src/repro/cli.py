@@ -68,9 +68,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--incremental-reward", action="store_true",
                      help="score per-step rewards through the incremental "
                           "engine: delta-patched propagation matrices and "
-                          "halo-restricted GNN re-evaluation (equal to the "
-                          "dense evaluation at float64 resolution; "
-                          "unsupported backbones fall back transparently)")
+                          "halo-restricted GNN re-evaluation — supported "
+                          "for gcn, graphsage, gat, h2gcn and mixhop "
+                          "(equal to the dense evaluation at float64 "
+                          "resolution; plan-less backbones fall back "
+                          "transparently)")
+    run.add_argument("--max-halo-frac", type=float, default=0.5,
+                     help="halo size (fraction of nodes) above which an "
+                          "incremental step falls back to the dense "
+                          "evaluation (default 0.5)")
     run.add_argument("--splits", type=int, default=1)
     add_entropy_engine_args(run)
 
@@ -111,6 +117,7 @@ def cmd_run(args) -> int:
         rl_algorithm=args.rl,
         num_envs=args.num_envs,
         incremental_reward=args.incremental_reward,
+        max_halo_frac=args.max_halo_frac,
         screening=args.screening,
         num_workers=args.num_workers,
         seed=args.seed,

@@ -58,11 +58,19 @@ class RareConfig:
     """Score per-step rewards through the incremental engine
     (:mod:`repro.gnn.incremental`): cached propagation matrices are
     delta-patched instead of rebuilt and the GNN re-evaluates only the
-    rewire's 2-hop halo against cached base-graph logits.  Equal to the
-    dense evaluation at float64 resolution (byte-identical off the halo;
-    see the module's exactness contract).  ``False`` (default) keeps the
-    full-graph evaluation as the reference twin; backbones without an
+    rewire's halo — a per-backbone row set derived from the receptive
+    field (2-hop for GCN/GraphSAGE/GAT, ``2K``-reach for H2GCN's K
+    rounds, 4-hop for MixHop) — against cached base-graph logits.  Equal
+    to the dense evaluation at float64 resolution (byte-identical off the
+    halo; see ``docs/equivalence-policy.md``).  ``False`` (default) keeps
+    the full-graph evaluation as the reference twin; backbones without an
     incremental plan fall back to it transparently."""
+    max_halo_frac: float = 0.5
+    """Halo size (as a fraction of the nodes) above which the incremental
+    engine falls back to the dense evaluation for a step: row slicing
+    stops paying off once most of the graph is dirty.  Plans with a
+    state-reusing dense path (GAT) still evaluate from the cached
+    per-model-version state on fallback."""
 
     # --- co-training loop (Algorithm 1) --------------------------------
     episodes: int = 6
@@ -122,6 +130,10 @@ class RareConfig:
         if self.num_workers < 1:
             raise ValueError(
                 f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if not 0.0 <= self.max_halo_frac <= 1.0:
+            raise ValueError(
+                f"max_halo_frac must be in [0, 1], got {self.max_halo_frac}"
             )
         from ..rl import AGENTS
 

@@ -187,13 +187,19 @@ class TopologyEnv(Env):
         self._rewire_hits = 0
         self._rewire_misses = 0
         # Optional incremental reward engine: delta-patched propagation
-        # matrices + halo-restricted forwards against cached base logits.
-        # Bound to the delta *root*: if the env's base graph is itself a
-        # derived graph (e.g. a preprocessed dataset), rewire deltas
-        # collapse to that root and the halo path still applies.
+        # matrices + halo-restricted forwards against cached base logits,
+        # for every backbone with a registered halo plan (GCN, GraphSAGE,
+        # GAT, H2GCN, MixHop and user plans — plan-less backbones fall
+        # back to the dense evaluation inside the evaluator, so there is
+        # no backbone gate here).  Bound to the delta *root*: if the env's
+        # base graph is itself a derived graph (e.g. a preprocessed
+        # dataset), rewire deltas collapse to that root and the halo path
+        # still applies.
         self._inc: Optional[IncrementalEvaluator] = (
             IncrementalEvaluator(
-                model, graph.delta.base if graph.delta is not None else graph
+                model,
+                graph.delta.base if graph.delta is not None else graph,
+                max_halo_frac=config.max_halo_frac,
             )
             if config.incremental_reward
             else None

@@ -26,7 +26,25 @@ def cached_matrix(graph: Graph, key: str, builder: Callable[[Graph], sp.spmatrix
 
 
 class GNNBackbone(Module):
-    """Base class: a node classifier ``(graph, X) -> logits``."""
+    """Base class: a node classifier ``(graph, X) -> logits``.
+
+    ``halo_plan`` is the incremental-engine hook (see
+    :mod:`repro.gnn.incremental` and ``docs/architecture.md``): ``"auto"``
+    (the default) looks the class up in the engine's plan registry, a
+    :class:`~repro.gnn.incremental.HaloPlan` subclass declares a custom
+    plan for a user backbone, and ``None`` explicitly opts out — the
+    evaluator then always uses the dense full-graph forward
+    (``examples/custom_backbone.py`` demonstrates both).  The
+    declaration binds to the *exact* class — a subclass overriding
+    ``forward`` changes the receptive field, so plans are never
+    inherited; re-declare in the subclass when the forward is
+    compatible.
+    """
+
+    #: Incremental halo plan: ``"auto"`` (exact-type registry lookup), a
+    #: ``HaloPlan`` subclass, or ``None`` (dense fallback only).  Not
+    #: inherited — consulted only on the class it is declared on.
+    halo_plan = "auto"
 
     def __init__(self, in_features: int, num_classes: int) -> None:
         super().__init__()

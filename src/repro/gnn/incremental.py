@@ -18,28 +18,50 @@ operational:
    index/data segment is copied verbatim, so unchanged entries are
    *byte-identical* to a from-scratch build.
 
-2. **Halo-restricted forward.**  For the two-layer linear-propagation
-   backbones (GCN, GraphSAGE) the eval-mode logits of a rewired graph
-   differ from the cached base-graph logits only inside the halo ``H``
-   (dirty propagation rows plus their new-graph frontier).  The evaluator
-   assembles ``(|halo|, N)`` propagation-row slices (base rows verbatim,
-   dirty rows respliced), recomputes exactly those rows with plain
-   :func:`repro.tensor.ops.spmm` over the slices and patches them into
-   the cached base activations
-   (:func:`repro.tensor.ops.scatter_patch_rows`), producing
-   **full-graph** logits without a full forward.
+2. **Halo-restricted forward.**  Every registered backbone carries a
+   :class:`HaloPlan` — a per-backbone recipe that derives the rewire's
+   *halo* (the node rows whose logits can change) from the backbone's
+   receptive field and recomputes only those rows against cached
+   base-graph activations:
+
+   * **GCN / GraphSAGE** (two linear-propagation rounds): ``(|halo|, N)``
+     propagation-row slices (base rows verbatim, dirty rows respliced)
+     drive two row-subset :func:`repro.tensor.ops.spmm` stages whose
+     results are patched into the cached activations.
+   * **GAT**: halo-restricted edge-softmax re-normalisation — attention
+     logits are recomputed only for edges incident to dirty rows, and
+     softmax denominators are respliced for exactly the destination rows
+     whose incoming edge set changed, reusing the cached per-node
+     attention ingredients everywhere else (the backbone's
+     ``eval_state`` hook captures them once per model version).
+   * **H2GCN** (``K`` rounds of 1-hop + strict-2-hop aggregation, final
+     concat): the normalised two-hop matrix is delta-patched through the
+     shared raw ``two_hop`` cache (:func:`patched_h2gcn_a2`) and the halo
+     grows round by round over the union of both aggregation supports.
+   * **MixHop** (adjacency powers ``Â^0..Â^2`` per layer): the halo round
+     count is the receptive field — max power times the number of layers.
+
+   The halo radius is *derived*, not hardcoded: :func:`grow_halo` iterates
+   each plan's per-round frontier, so a ``rounds=3`` H2GCN or a deeper
+   user backbone (see ``examples/custom_backbone.py``) declares its own
+   reach.  User backbones opt in by setting ``halo_plan`` on the class (or
+   calling :func:`register_halo_plan`) and opt out with
+   ``halo_plan = None``.
 
 Exactness contract
 ------------------
-The patched propagation matrices are byte-identical to from-scratch
-builds (unchanged rows are copied verbatim; respliced rows recompute the
-same scalar formula in the same order).  Off-halo logit rows come from
-the cached base evaluation and are byte-identical to a full
-re-evaluation: every op involved is row-local (sparse row products sum in
-identical index order, dense GEMM rows depend only on their own input
-row).  Halo rows are recomputed through row-*subset* GEMMs whose BLAS
-kernel may block the inner dimension differently from the full-matrix
-call, so they are guaranteed equal at float64 resolution only —
+See ``docs/equivalence-policy.md`` for the repository-wide policy this
+module implements.  In short: the patched propagation matrices are
+byte-identical to from-scratch builds (unchanged rows are copied
+verbatim; respliced rows recompute the same scalar formula in the same
+order).  Off-halo logit rows come from the cached base evaluation and are
+byte-identical to a full re-evaluation: every op involved is row-local
+(sparse row products sum in identical index order, dense GEMM rows depend
+only on their own input row, and per-destination edge-softmax
+accumulation preserves each segment's entry order).  Halo rows are
+recomputed through row-*subset* GEMMs whose BLAS kernel may block the
+inner dimension differently from the full-matrix call, so they are
+guaranteed equal at float64 resolution only —
 ``np.allclose(..., rtol=1e-9, atol=1e-12)``, observed ulp-level
 (``<= 3e-16``) in the test suite.  Tie policy: the reward's accuracy term
 uses ``argmax`` over logits, so only a class-logit tie within that
@@ -60,15 +82,20 @@ from ..graph.graph import _member_sorted
 from ..graph.normalize import gcn_norm, row_norm, two_hop_adjacency
 from ..tensor import Tensor, ops
 from .base import GNNBackbone, cached_matrix
-from .models import GCN, H2GCN, GraphSAGE, MixHop
+from .models import GAT, GCN, H2GCN, GraphSAGE, MixHop, _normalized_two_hop
 
 __all__ = [
+    "HaloPlan",
     "IncrementalEvaluator",
+    "grow_halo",
     "install_propagation_caches",
     "patched_adjacency",
     "patched_gcn_norm",
+    "patched_h2gcn_a2",
     "patched_row_norm",
     "patched_two_hop",
+    "register_halo_plan",
+    "resolve_halo_plan",
     "supports_incremental",
 ]
 
@@ -106,6 +133,19 @@ def _neighbor_union(matrix: sp.csr_matrix, rows: np.ndarray) -> np.ndarray:
         return np.empty(0, dtype=np.int64)
     _, cols = _gather_segments(matrix.indptr, matrix.indices, rows)
     return np.unique(cols)
+
+
+def _neighbor_mask(
+    matrix: sp.csr_matrix, rows: np.ndarray, n: int
+) -> np.ndarray:
+    """Boolean membership mask of :func:`_neighbor_union` — O(n + volume)
+    with no sort, the hot-path twin for the correction-based plans whose
+    reachable sets grow toward ``n``."""
+    mask = np.zeros(n, dtype=bool)
+    if len(rows):
+        _, cols = _gather_segments(matrix.indptr, matrix.indices, rows)
+        mask[cols] = True
+    return mask
 
 
 def _replace_rows(
@@ -200,6 +240,13 @@ def patched_adjacency(graph: Graph) -> sp.csr_matrix:
     Only the rows of delta-touched endpoints are rebuilt; every other
     row's segment is copied verbatim, so the result is bitwise identical
     to ``graph.adjacency()`` built from scratch.
+
+    Examples
+    --------
+    >>> rewired = base.add_edges([(0, 5)])          # carries a GraphDelta
+    >>> fast = patched_adjacency(rewired)
+    >>> np.array_equal(fast.toarray(), rewired.adjacency().toarray())
+    True
     """
     delta = _require_delta(graph)
     base_adj = delta.base.adjacency()
@@ -269,6 +316,13 @@ def patched_gcn_norm(
     symmetric normalisation couples each entry to both endpoint degrees);
     exactly those rows are respliced with freshly scaled values, the rest
     is the base matrix's data verbatim.
+
+    Examples
+    --------
+    >>> rewired = rewire_graph(base, sequences, k, d)
+    >>> fast = patched_gcn_norm(rewired)            # no O(E) rebuild
+    >>> np.array_equal(fast.toarray(), gcn_norm(rewired).toarray())
+    True
     """
     delta = _require_delta(graph)
     base = delta.base
@@ -299,6 +353,13 @@ def patched_row_norm(
 
     The row normalisation couples an entry to its *row* degree only, so
     just the touched endpoints' rows are respliced.
+
+    Examples
+    --------
+    >>> rewired = base.remove_edges([(2, 7)])
+    >>> fast = patched_row_norm(rewired)
+    >>> np.array_equal(fast.toarray(), row_norm(rewired).toarray())
+    True
     """
     delta = _require_delta(graph)
     base = delta.base
@@ -320,30 +381,31 @@ def patched_row_norm(
     return _replace_rows(base_mat, touched, cols, vals, lengths)
 
 
-def patched_two_hop(graph: Graph, cache_key: str = "two_hop") -> sp.csr_matrix:
-    """Strict 2-hop adjacency patched via the delta's 2-hop closure.
-
-    A row of ``A @ A`` can change only if the row's own neighbourhood
-    changed or one of its (old or new) neighbours' did — i.e. inside the
-    1-hop closure of the touched endpoints.  Those rows are recomputed as
-    ``A_new[rows] @ A_new`` with the strict-2-hop cleanup (no ego, no
-    one-hop overlap) and spliced into the base matrix.
-    """
-    delta = _require_delta(graph)
-    base = delta.base
-    base_mat = cached_matrix(base, cache_key, two_hop_adjacency)
-    if delta.is_empty:
-        return base_mat
-
-    adj_new = _ensure_adjacency(graph)
+def _two_hop_closure(graph: Graph) -> np.ndarray:
+    """Rows of the strict two-hop matrix whose *structure* can change:
+    the 1-hop closure (old and new neighbourhoods) of the touched
+    endpoints."""
+    delta = graph.delta
     touched = delta.touched_nodes()
-    closure = _union(
+    return _union(
         touched,
-        _neighbor_union(base.adjacency(), touched),
-        _neighbor_union(adj_new, touched),
+        _neighbor_union(delta.base.adjacency(), touched),
+        _neighbor_union(_ensure_adjacency(graph), touched),
     )
-    sub = (adj_new[closure] @ adj_new).tocoo()
-    ego = closure[sub.row]
+
+
+def _strict_two_hop_rows(
+    graph: Graph, rows: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fresh strict-2-hop structure of the *new* graph for ``rows``.
+
+    Returns row-major sorted ``(local_rows, cols, lengths)`` where
+    ``local_rows`` indexes into ``rows``: the rows of ``A_new[rows] @
+    A_new`` after the strict cleanup (no ego, no one-hop overlap).
+    """
+    adj_new = _ensure_adjacency(graph)
+    sub = (adj_new[rows] @ adj_new).tocoo()
+    ego = rows[sub.row]
     col = sub.col.astype(np.int64)
     keep = col != ego
     if keep.any():
@@ -355,10 +417,132 @@ def patched_two_hop(graph: Graph, cache_key: str = "two_hop") -> sp.csr_matrix:
     cols = col[keep]
     order = np.lexsort((cols, local_rows))
     local_rows, cols = local_rows[order], cols[order]
-    rows = closure[local_rows]
-    lengths = np.bincount(local_rows, minlength=closure.shape[0])
+    lengths = np.bincount(local_rows, minlength=rows.shape[0])
+    return local_rows, cols, lengths
+
+
+def patched_two_hop(graph: Graph, cache_key: str = "two_hop") -> sp.csr_matrix:
+    """Strict 2-hop adjacency patched via the delta's 2-hop closure.
+
+    A row of ``A @ A`` can change only if the row's own neighbourhood
+    changed or one of its (old or new) neighbours' did — i.e. inside the
+    1-hop closure of the touched endpoints.  Those rows are recomputed as
+    ``A_new[rows] @ A_new`` with the strict-2-hop cleanup (no ego, no
+    one-hop overlap) and spliced into the base matrix.
+
+    Examples
+    --------
+    >>> rewired = base.add_edges([(0, 5)])          # carries a GraphDelta
+    >>> fast = patched_two_hop(rewired)
+    >>> (fast != two_hop_adjacency(rewired)).nnz    # bitwise identical
+    0
+    """
+    delta = _require_delta(graph)
+    base = delta.base
+    base_mat = cached_matrix(base, cache_key, two_hop_adjacency)
+    if delta.is_empty:
+        return base_mat
+
+    closure = _two_hop_closure(graph)
+    local_rows, cols, lengths = _strict_two_hop_rows(graph, closure)
     return _replace_rows(
         base_mat, closure, cols, np.ones(cols.shape[0]), lengths
+    )
+
+
+def _two_hop_rescaling(
+    graph: Graph,
+) -> Tuple[sp.csr_matrix, np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+           np.ndarray, np.ndarray]:
+    """Shared core of the strict-two-hop renormalisation.
+
+    Returns ``(base_two, base_d2, closure, local_rows, cols, changed,
+    inv2)``: the base raw two-hop matrix and its (memoised) degree
+    vector, the structural closure with its fresh row structure
+    (row-major sorted, ``local_rows`` indexing into ``closure``), the
+    rows whose two-hop degree changed, and the new ``D2^{-1/2}`` scaling.
+    Both the full-matrix patch (:func:`patched_h2gcn_a2`) and the H2GCN
+    halo plan consume this — the engine's bitwise contract depends on
+    the two paths never diverging on the degree/rescale arithmetic.
+    """
+    delta = graph.delta
+    base = delta.base
+    base_two = cached_matrix(base, "two_hop", two_hop_adjacency)
+    base_d2 = cached_matrix(
+        base, "two_hop_deg",
+        lambda g: np.asarray(base_two.sum(axis=1)).ravel(),
+    )
+    closure = _two_hop_closure(graph)
+    local_rows, cols, lengths = _strict_two_hop_rows(graph, closure)
+    # New two-hop degrees: row sums change only where structure does.
+    d2 = base_d2.copy()
+    new_counts = lengths.astype(np.float64)
+    changed = closure[d2[closure] != new_counts]
+    d2[closure] = new_counts
+    inv2 = np.zeros_like(d2)
+    nz = d2 > 0
+    inv2[nz] = d2[nz] ** -0.5
+    return base_two, base_d2, closure, local_rows, cols, changed, inv2
+
+
+def _h2gcn_a2_dirty(graph: Graph) -> Tuple[np.ndarray, sp.csr_matrix]:
+    """Dirty rows of the *normalised* strict-two-hop matrix.
+
+    Returns ``(dirty, rows_slice)``: the sorted dirty row ids and their
+    freshly scaled ``(|dirty|, N)`` CSR rows.  Dirty rows split into the
+    closure (structure changed) and base-structure rows that merely
+    touch a column whose two-hop degree changed — the symmetric
+    normalisation couples every entry to both endpoint degrees, exactly
+    like :func:`patched_gcn_norm`.
+    """
+    base_two, _, closure, local_rows, cols, changed, inv = (
+        _two_hop_rescaling(graph)
+    )
+    dirty = _union(closure, _neighbor_union(base_two, changed))
+    extra = np.setdiff1d(dirty, closure)
+    er, ec = _gather_segments(base_two.indptr, base_two.indices, extra)
+    rr = np.concatenate([closure[local_rows], er])
+    cc = np.concatenate([cols, ec])
+    order = np.lexsort((cc, rr))
+    rr, cc = rr[order], cc[order]
+    rows_slice = _row_slice_matrix(
+        dirty, rr, cc, inv[rr] * inv[cc], graph.num_nodes
+    )
+    return dirty, rows_slice
+
+
+def patched_h2gcn_a2(
+    graph: Graph, cache_key: str = "h2gcn_a2"
+) -> sp.csr_matrix:
+    """Normalised strict-two-hop matrix (H2GCN's ``A2``) by row patch.
+
+    Splices ``D2^{-1/2} A2 D2^{-1/2}`` of a delta-carrying graph from the
+    base graph's cached matrix: structural closure rows are rebuilt from
+    the new adjacency, rows coupling to a changed two-hop degree are
+    rescaled, everything else is the base data verbatim — bitwise equal to
+    the fresh ``_normalized_two_hop`` build, at the cost of the closure's
+    two-hop volume instead of a full ``A @ A``.
+
+    Examples
+    --------
+    >>> rewired = base.add_edges([(0, 5)])
+    >>> a2 = patched_h2gcn_a2(rewired)              # no full A @ A rebuild
+    >>> np.array_equal(a2.toarray(), _normalized_two_hop(rewired).toarray())
+    True
+    """
+    delta = _require_delta(graph)
+    base = delta.base
+    cached_matrix(base, "two_hop", two_hop_adjacency)
+    base_mat = cached_matrix(base, cache_key, _normalized_two_hop)
+    if delta.is_empty:
+        return base_mat
+    dirty, rows_slice = _h2gcn_a2_dirty(graph)
+    return _replace_rows(
+        base_mat,
+        dirty,
+        rows_slice.indices.astype(np.int64),
+        rows_slice.data,
+        np.diff(rows_slice.indptr).astype(np.int64),
     )
 
 
@@ -406,10 +590,12 @@ def _halo_matrix(
 
 #: Cache key -> patcher for :func:`install_propagation_caches`.
 _PATCHERS = {
+    "adjacency": patched_adjacency,
     "gcn_norm": patched_gcn_norm,
     "h2gcn_a1": lambda g: patched_gcn_norm(
         g, add_self_loops=False, cache_key="h2gcn_a1"
     ),
+    "h2gcn_a2": patched_h2gcn_a2,
     "row_norm": patched_row_norm,
     "two_hop": patched_two_hop,
 }
@@ -423,6 +609,15 @@ def install_propagation_caches(
     Each requested matrix is spliced from the base graph's cached twin
     (built on demand) instead of being rebuilt from scratch — identical
     values, a fraction of the work.  Keys already present are left alone.
+    Valid keys: ``"adjacency"``, ``"gcn_norm"``, ``"row_norm"``,
+    ``"two_hop"``, ``"h2gcn_a1"``, ``"h2gcn_a2"``.
+
+    Examples
+    --------
+    >>> rewired = rewire_graph(base, sequences, k, d)   # records a delta
+    >>> install_propagation_caches(rewired, ("gcn_norm", "h2gcn_a2"))
+    >>> sorted(rewired.cache)                           # ready for forward
+    ['gcn_norm', 'h2gcn_a2']
     """
     _require_delta(graph)
     for key in keys:
@@ -431,15 +626,176 @@ def install_propagation_caches(
 
 
 # ---------------------------------------------------------------------------
-# Halo-restricted forward plans (two-layer linear-propagation backbones)
+# Halo plans: per-backbone recipes for halo-restricted evaluation
 # ---------------------------------------------------------------------------
-class _GCNPlan:
+class HaloPlan:
+    """Per-backbone recipe for halo-restricted incremental evaluation.
+
+    A plan answers three questions for its backbone: what to cache per
+    model version (:meth:`base_state`), which rows a given edge delta can
+    reach (:meth:`prepare`, usually via :func:`grow_halo` with a
+    round count derived from the backbone's receptive field), and how to
+    recompute exactly those rows against the cached state
+    (:meth:`logits`).  Plans are registered per backbone class
+    (:func:`register_halo_plan`) or declared on the class itself via the
+    ``halo_plan`` attribute; ``halo_plan = None`` opts a backbone out (the
+    evaluator then always runs the dense reference forward).
+
+    Examples
+    --------
+    A user backbone declares its plan on the class (see
+    ``examples/custom_backbone.py`` for a runnable version):
+
+    >>> class MyPlan(HaloPlan):
+    ...     matrix_keys = ("gcn_norm",)
+    ...     @staticmethod
+    ...     def base_state(model, graph): ...
+    ...     @staticmethod
+    ...     def prepare(model, graph): ...
+    ...     @staticmethod
+    ...     def logits(model, graph, state, dirty, halo, ctx): ...
+    >>> class MyBackbone(GNNBackbone):
+    ...     halo_plan = MyPlan
+    """
+
+    #: Propagation cache keys worth delta-patching before a dense forward
+    #: (the oversized-halo fallback installs them via
+    #: :func:`install_propagation_caches`).
+    matrix_keys: Tuple[str, ...] = ()
+
+    #: Optional hook: a dense evaluation that still reuses the cached
+    #: per-model-version state (GAT re-normalises every destination from
+    #: cached attention ingredients instead of rerunning the transforms).
+    dense_from_state = None
+
+    #: Whether a halo above ``max_halo_frac`` should fall back to the
+    #: dense path.  Row-slice plans (GCN, GraphSAGE) keep ``True``;
+    #: correction-based plans (H2GCN, MixHop) whose cost is bounded by
+    #: the edit's column support — not the halo's row count — set
+    #: ``False`` and always run incrementally.
+    oversize_fallback = True
+
+    #: Cache keys to evict after a fallback dense forward (e.g. the raw
+    #: ``two_hop`` scaffold once the normalised twin is memoised).
+    drop_after_dense: Tuple[str, ...] = ()
+
+    @staticmethod
+    def base_state(model: GNNBackbone, graph: Graph) -> Dict[str, np.ndarray]:
+        """Eval-mode activations of the base graph, cached per model version."""
+        raise NotImplementedError
+
+    @staticmethod
+    def prepare(
+        model: GNNBackbone, graph: Graph
+    ) -> Tuple[np.ndarray, np.ndarray, dict]:
+        """``(dirty, halo, ctx)`` of a delta-carrying graph.
+
+        ``dirty`` are the propagation rows whose entries change, ``halo``
+        the full set of output rows that can differ (the evaluator sizes
+        its fallback check on it), ``ctx`` whatever the plan wants to pass
+        to :meth:`logits`.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def logits(
+        model: GNNBackbone,
+        graph: Graph,
+        state: Dict[str, np.ndarray],
+        dirty: np.ndarray,
+        halo: np.ndarray,
+        ctx: dict,
+    ) -> np.ndarray:
+        """Full-graph logits with only the halo rows recomputed."""
+        raise NotImplementedError
+
+
+#: Backbone class -> HaloPlan registry (the ``halo_plan = "auto"`` lookup).
+_PLANS: Dict[type, type] = {}
+
+
+def register_halo_plan(model_cls: type, plan: type | None = None):
+    """Register ``plan`` as the halo plan of ``model_cls``.
+
+    Usable as a plain call or as a class decorator.  Registration is what
+    ``halo_plan = "auto"`` (the :class:`~repro.gnn.base.GNNBackbone`
+    default) resolves against; a ``halo_plan`` attribute set directly on
+    a backbone class always wins, and ``None`` opts out.
+
+    Examples
+    --------
+    >>> @register_halo_plan(MyBackbone)
+    ... class MyPlan(HaloPlan):
+    ...     ...
+    """
+    if plan is None:
+        def decorate(p: type) -> type:
+            _PLANS[model_cls] = p
+            return p
+        return decorate
+    _PLANS[model_cls] = plan
+    return plan
+
+
+def resolve_halo_plan(model: GNNBackbone):
+    """The halo plan bound to ``model``'s exact class, or ``None``.
+
+    Resolution order: a ``halo_plan`` attribute declared *on the class
+    itself* and not ``"auto"`` (so user backbones can declare a plan —
+    or ``None`` to opt out — without touching the registry), then the
+    exact-type :func:`register_halo_plan` registry.  Deliberately **not
+    inherited**: a subclass usually overrides ``forward`` and with it
+    the receptive field, so silently applying the parent's plan would
+    produce wrong rewards with no error.  Subclasses whose forward *is*
+    compatible re-declare the plan in one line.
+
+    Examples
+    --------
+    >>> resolve_halo_plan(build_backbone("gat", 8, 2)) is not None
+    True
+    >>> class MyGAT(GAT): ...              # subclass: no silent inherit
+    >>> resolve_halo_plan(MyGAT(8, 2)) is None
+    True
+    """
+    cls_vars = vars(type(model))
+    if "halo_plan" in cls_vars:
+        declared = cls_vars["halo_plan"]
+        if not (isinstance(declared, str) and declared == "auto"):
+            return declared
+    return _PLANS.get(type(model))
+
+
+def grow_halo(dirty: np.ndarray, rounds: int, frontier) -> list:
+    """Per-round reachable row sets of a ``rounds``-round propagation.
+
+    ``S_1 = dirty`` and ``S_{r+1} = dirty ∪ frontier(S_r)`` — the rows a
+    round-``r+1`` aggregation can change are the matrix's own dirty rows
+    plus every row adjacent (under the *new* graph's propagation support,
+    which is what ``frontier`` must implement) to a row that changed in
+    round ``r``.  The round count is the backbone's receptive field:
+    2 for GCN/GraphSAGE, ``K`` for H2GCN, max power times layers for
+    MixHop.  The output halo is the union of all rounds.
+
+    Examples
+    --------
+    >>> frontier = lambda rows: _neighbor_union(adj_new, rows)
+    >>> sets = grow_halo(np.array([3, 7]), 2, frontier)
+    >>> len(sets)
+    2
+    """
+    sets = [np.asarray(dirty, dtype=np.int64)]
+    for _ in range(rounds - 1):
+        sets.append(_union(dirty, frontier(sets[-1])))
+    return sets
+
+
+class _GCNPlan(HaloPlan):
     """GCN: ``out = Â (relu(Â (X W1 + b1)) W2 + b2)`` (eval mode).
 
     ``X W1`` is graph-independent and cached per model version; dirty
     rows ``R`` of ``Â`` (touched endpoints plus degree-coupled neighbour
     rows) bound the hidden-layer changes, ``H = R ∪ N_new(R)`` the output
-    changes.
+    changes (two propagation rounds, halo radius 2).
     """
 
     matrix_keys = ("gcn_norm",)
@@ -455,7 +811,9 @@ class _GCNPlan:
         return {"a_hat": a_hat, "xw1": xw1, "z": z, "out": out}
 
     @staticmethod
-    def prepare(graph: Graph) -> Tuple[np.ndarray, np.ndarray, dict]:
+    def prepare(
+        model: GNNBackbone, graph: Graph
+    ) -> Tuple[np.ndarray, np.ndarray, dict]:
         delta = graph.delta
         change = delta.degree_changes()
         touched = delta.touched_nodes()
@@ -494,10 +852,10 @@ class _GCNPlan:
         ).data
 
 
-class _SAGEPlan:
+class _SAGEPlan(HaloPlan):
     """GraphSAGE (mean aggregator): row-normalised ``M = D^{-1}A`` couples
     an entry only to its row degree, so the dirty rows are exactly the
-    touched endpoints and ``H = D ∪ N_new(D)``.
+    touched endpoints and ``H = D ∪ N_new(D)`` (two rounds).
     """
 
     matrix_keys = ("row_norm",)
@@ -516,7 +874,9 @@ class _SAGEPlan:
         return {"m": m, "s1x": s1x, "h1": h1, "out": out}
 
     @staticmethod
-    def prepare(graph: Graph) -> Tuple[np.ndarray, np.ndarray, dict]:
+    def prepare(
+        model: GNNBackbone, graph: Graph
+    ) -> Tuple[np.ndarray, np.ndarray, dict]:
         delta = graph.delta
         touched = delta.touched_nodes()
         pairs = _new_row_pairs(graph, touched)
@@ -551,12 +911,496 @@ class _SAGEPlan:
         ).data
 
 
-#: Backbones with an exact halo-restricted evaluation plan.
-_PLANS = {GCN: _GCNPlan, GraphSAGE: _SAGEPlan}
+# ---------------------------------------------------------------------------
+# GAT: halo-restricted edge-softmax re-normalisation
+# ---------------------------------------------------------------------------
+def _in_edges(
+    adj: sp.csr_matrix, rows: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sub-edge list ``(src, local_dst)`` for the destinations ``rows``.
+
+    Per destination the order is sources ascending, then the self loop —
+    exactly the per-segment entry order of the full forward's edge list
+    (src-major COO plus a trailing self-loop block), so segment sums
+    accumulate bitwise identically.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    counts = (adj.indptr[rows + 1] - adj.indptr[rows]).astype(np.int64)
+    total = int(counts.sum())
+    local = np.repeat(np.arange(rows.shape[0], dtype=np.int64), counts)
+    starts = np.repeat(adj.indptr[rows].astype(np.int64), counts)
+    ends = np.cumsum(counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+    src = adj.indices[starts + offsets].astype(np.int64)
+    local = np.concatenate([local, np.arange(rows.shape[0], dtype=np.int64)])
+    src = np.concatenate([src, rows])
+    return src, local
+
+
+def _gat_layer_rows(
+    layer,
+    lstate: Dict[str, np.ndarray],
+    adj: sp.csr_matrix,
+    rows: np.ndarray,
+    h: np.ndarray | None = None,
+    asrc: np.ndarray | None = None,
+    adst: np.ndarray | None = None,
+) -> np.ndarray:
+    """Output rows ``rows`` of one GAT layer under the new topology.
+
+    The cached per-node attention ingredients (``lstate`` from the
+    instrumented base forward) supply transformed features and attention
+    coefficients; callers pass patched overrides when upstream rows
+    changed.  Only the destinations in ``rows`` get their edge softmax
+    re-normalised — per-edge logits are recomputed for exactly the edges
+    incident to those rows, every other edge's contribution lives on in
+    the cached layer output.  Given bitwise-identical inputs the
+    recomputed rows are bitwise identical to the full forward
+    (per-destination entry order is preserved, see :func:`_in_edges`).
+    """
+    h = lstate["h"] if h is None else h
+    asrc = lstate["asrc"] if asrc is None else asrc
+    adst = lstate["adst"] if adst is None else adst
+    src, local = _in_edges(adj, rows)
+    dim = layer.out_features
+    adst_rows = adst[rows]
+    outputs = []
+    for head in range(layer.heads):
+        cols = slice(head * dim, (head + 1) * dim)
+        logit = asrc[src, head : head + 1] + adst_rows[local, head : head + 1]
+        scale = np.where(logit > 0, 1.0, layer.negative_slope)
+        att = ops.segment_softmax_array(logit * scale, local, rows.shape[0])
+        messages = h[:, cols][src] * att
+        outputs.append(ops.segment_sum_array(messages, local, rows.shape[0]))
+    if layer.concat:
+        return np.concatenate(outputs, axis=1)
+    total = outputs[0]
+    for o in outputs[1:]:
+        total = total + o
+    return total * (1.0 / layer.heads)
+
+
+def _gat_patched_logits(
+    model: GAT,
+    graph: Graph,
+    state: Dict[str, np.ndarray],
+    touched: np.ndarray,
+    out_rows: np.ndarray,
+    adj: sp.csr_matrix,
+) -> np.ndarray:
+    """Full-graph GAT logits with layers re-normalised on ``out_rows``.
+
+    Layer 1's per-node ingredients never change (they depend on the
+    features only), so its softmax is respliced for exactly the
+    ``touched`` destinations; layer 2's per-node ingredients are patched
+    for those rows and its softmax re-normalised over ``out_rows``
+    (the 2-hop halo — or every node for the dense-from-state fallback).
+    """
+    l1, l2 = state["layer1"], state["layer2"]
+    z1_rows = _gat_layer_rows(model.layer1, l1, adj, touched)
+    # ELU exactly as ops.elu (alpha = 1).
+    act_rows = np.where(
+        z1_rows > 0, z1_rows, np.exp(np.minimum(z1_rows, 0.0)) - 1.0
+    )
+    layer2 = model.layer2
+    h2_rows = act_rows @ layer2.linear.weight.data
+    h2 = l2["h"].copy()
+    h2[touched] = h2_rows
+    dim2 = layer2.out_features
+    asrc_cols, adst_cols = [], []
+    for head in range(layer2.heads):
+        cols = slice(head * dim2, (head + 1) * dim2)
+        head_rows = h2_rows[:, cols]
+        asrc_cols.append(head_rows @ layer2.att_src.weight.data)
+        adst_cols.append(head_rows @ layer2.att_dst.weight.data)
+    asrc = l2["asrc"].copy()
+    asrc[touched] = np.concatenate(asrc_cols, axis=1)
+    adst = l2["adst"].copy()
+    adst[touched] = np.concatenate(adst_cols, axis=1)
+    patch = _gat_layer_rows(
+        layer2, l2, adj, out_rows, h=h2, asrc=asrc, adst=adst
+    )
+    out = state["out"].copy()
+    out[out_rows] = patch
+    return out
+
+
+@register_halo_plan(GAT)
+class _GATPlan(HaloPlan):
+    """GAT: cached per-node attention state + halo edge-softmax resplice.
+
+    The touched endpoints are the only destinations whose incoming edge
+    set changes, so layer 1 re-normalises exactly those rows; their
+    changed activations reach layer 2's attention through ``H = T ∪
+    N_new(T)`` — the standard 2-round halo, but grown through the
+    attention coefficients rather than a propagation matrix.  GAT
+    consumes an edge list, not a cached matrix, so there is nothing to
+    delta-patch on fallback; instead :meth:`dense_from_state` re-derives
+    every destination from the cached ingredients, skipping the feature
+    transforms entirely.
+    """
+
+    matrix_keys = ()
+
+    @staticmethod
+    def base_state(model: GAT, graph: Graph) -> Dict[str, np.ndarray]:
+        return model.eval_state(graph)
+
+    @staticmethod
+    def prepare(
+        model: GAT, graph: Graph
+    ) -> Tuple[np.ndarray, np.ndarray, dict]:
+        touched = graph.delta.touched_nodes()
+        adj_new = _ensure_adjacency(graph)
+        frontier = lambda rows: _neighbor_union(adj_new, rows)  # noqa: E731
+        rounds = grow_halo(touched, 2, frontier)
+        return touched, _union(*rounds), {"adj": adj_new}
+
+    @staticmethod
+    def logits(
+        model: GAT,
+        graph: Graph,
+        state: Dict[str, np.ndarray],
+        dirty: np.ndarray,
+        halo: np.ndarray,
+        ctx: dict,
+    ) -> np.ndarray:
+        return _gat_patched_logits(model, graph, state, dirty, halo, ctx["adj"])
+
+    @staticmethod
+    def dense_from_state(
+        model: GAT, graph: Graph, state: Dict[str, np.ndarray],
+        dirty: np.ndarray, ctx: dict,
+    ) -> np.ndarray:
+        all_rows = np.arange(graph.num_nodes, dtype=np.int64)
+        return _gat_patched_logits(
+            model, graph, state, dirty, all_rows, ctx["adj"]
+        )
+
+
+# ---------------------------------------------------------------------------
+# H2GCN: K rounds of 1-hop + strict-2-hop aggregation, final concat
+# ---------------------------------------------------------------------------
+@register_halo_plan(H2GCN)
+class _H2GCNPlan(HaloPlan):
+    """H2GCN: correction-based rounds over both aggregation supports.
+
+    The two-hop degree renormalisation couples every entry of ``A2`` to
+    both endpoint degrees, so a handful of edge edits *rescales* entries
+    across a large fraction of rows — a row-sliced halo would cover most
+    of the graph.  The exact work is nevertheless tiny, and the plan
+    exploits that with column-restricted corrections against the cached
+    round products: for every row whose ``A2`` *structure* is unchanged,
+
+    ``(A2' c')[r] = (A2 c)[r] + (A2 (s ⊙ c' - c))[r]``
+
+    where ``s = d2'^{-1/2} / d2^{-1/2}`` differs from 1 only on the rows
+    whose two-hop degree changed (inside the structural closure) and
+    ``c' - c`` is supported on the previous round's changed rows.  The
+    sparse product touches only the columns in that union — cost scales
+    with the *edit's* two-hop volume plus the spread of the previous
+    round, never with ``|A2|`` — while the closure rows (changed
+    structure) are recomputed directly from fresh two-hop rows.  ``A1``
+    rows follow the same cached-product + column-correction scheme.  The
+    final concat + classify is applied as a per-round block correction
+    over the union of the row sets.  The cost is bounded by the
+    correction supports (worst case ~ one dense forward, measured at or
+    below the state-reusing dense twin in every regime), so the plan
+    opts out of the oversized-halo fallback and always runs
+    incrementally.
+    """
+
+    # No matrix_keys / drop_after_dense: with ``oversize_fallback``
+    # off, the evaluator's dense-fallback branch never runs for this
+    # plan (opted-out H2GCN subclasses are covered by
+    # ``_FALLBACK_MATRIX_KEYS`` instead).
+    oversize_fallback = False
+
+    @staticmethod
+    def base_state(model: H2GCN, graph: Graph) -> Dict[str, np.ndarray]:
+        return model.eval_state(graph)
+
+    @staticmethod
+    def prepare(
+        model: H2GCN, graph: Graph
+    ) -> Tuple[np.ndarray, np.ndarray, dict]:
+        delta = graph.delta
+        base = delta.base
+        change = delta.degree_changes()
+        touched = delta.touched_nodes()
+        # A1 dirty rows: symmetric normalisation without self loops.
+        d1 = _union(
+            touched,
+            _neighbor_union(base.adjacency(), np.flatnonzero(change)),
+        )
+        pr, pc = _new_row_pairs(graph, d1)
+        inv1 = _inv_sqrt_degrees(base.degrees() + change, add_self_loops=False)
+        a1_rows = _row_slice_matrix(
+            d1, pr, pc, inv1[pr] * inv1[pc], graph.num_nodes
+        )
+        # A2 structural closure: fresh strict-2-hop rows + new degrees
+        # (shared core with the full-matrix patch).
+        base_two, base_d2, closure, local_rows, cols, changed, inv2 = (
+            _two_hop_rescaling(graph)
+        )
+        rr = closure[local_rows]
+        a2_closure = _row_slice_matrix(
+            closure, rr, cols, inv2[rr] * inv2[cols], graph.num_nodes
+        )
+        # Rescale factors: 1 everywhere except the degree-changed rows.
+        s = np.ones(graph.num_nodes)
+        old_nz = base_d2[changed] > 0
+        s[changed[old_nz]] = (
+            inv2[changed[old_nz]] / base_d2[changed[old_nz]] ** -0.5
+        )
+
+        # Per-round changed-row sets (structural supersets of the rows the
+        # corrections can touch) — the output halo is their union.  Mask
+        # arithmetic keeps this O(n + volume) as the sets grow.
+        n = graph.num_nodes
+        base_adj = base.adjacency()
+        static_mask = np.zeros(n, dtype=bool)
+        static_mask[closure] = True
+        static_mask[d1] = True
+        changed_mask = np.zeros(n, dtype=bool)
+        changed_mask[changed] = True
+        rounds = []
+        prev = np.empty(0, dtype=np.int64)
+        prev_mask = np.zeros(n, dtype=bool)
+        halo_mask = np.zeros(n, dtype=bool)
+        for _ in range(int(model.rounds)):
+            supp = np.flatnonzero(changed_mask | prev_mask)
+            mask = (
+                static_mask
+                | _neighbor_mask(base_two, supp, n)
+                | _neighbor_mask(base_adj, prev, n)
+            )
+            prev = np.flatnonzero(mask)
+            prev_mask = mask
+            halo_mask |= mask
+            rounds.append(prev)
+        dirty = _union(d1, closure, changed)
+        ctx = {
+            # Diagnostic hook: logits recomputes the *actual* reached
+            # sets; the structural per-round sets are kept for tests and
+            # introspection (their union is the returned halo).
+            "rounds": rounds,
+            "d1": d1,
+            "a1_rows": a1_rows,
+            "closure": closure,
+            "a2_closure": a2_closure,
+            "changed": changed,
+            "s": s,
+        }
+        return dirty, np.flatnonzero(halo_mask), ctx
+
+    @staticmethod
+    def logits(
+        model: H2GCN,
+        graph: Graph,
+        state: Dict[str, np.ndarray],
+        dirty: np.ndarray,
+        halo: np.ndarray,
+        ctx: dict,
+    ) -> np.ndarray:
+        reps = state["reps"]
+        a1b, a2b = state["a1"], state["a2"]
+        d1, a1_rows = ctx["d1"], ctx["a1_rows"]
+        closure, a2_closure = ctx["closure"], ctx["a2_closure"]
+        s = ctx["s"]
+        n = reps[0].shape[0]
+        a1_cols = a1_rows.tocsc()
+        a2c_cols = a2_closure.tocsc()
+
+        # Pure delta bookkeeping: round r is represented as the sparse
+        # row set it changed plus the dense value delta on those rows —
+        # patched representations are never materialised, so per-step
+        # traffic scales with the spread of the edit, not with N * width.
+        prev_rows = np.empty(0, dtype=np.int64)
+        prev_delta: np.ndarray | None = None
+        deltas = []
+        for r in range(1, len(reps)):
+            base_prev = reps[r - 1]
+            width = base_prev.shape[1]
+            rows_mask = np.zeros(n, dtype=bool)
+            rows_mask[d1] = True
+            rows_mask[closure] = True
+            # --- A1 block: column-restricted correction against the
+            # cached product; dirty rows recomputed directly.
+            if prev_rows.shape[0]:
+                corr1 = np.asarray(a1b[prev_rows].T @ prev_delta)
+                reach1 = np.flatnonzero(_neighbor_mask(a1b, prev_rows, n))
+                rows_mask[reach1] = True
+            direct1 = np.asarray(a1_rows @ base_prev)
+            if prev_rows.shape[0]:
+                direct1 += np.asarray(a1_cols[:, prev_rows] @ prev_delta)
+            # --- A2 block: rescale-aware correction (e = s ⊙ c' - c on
+            # its support) + fresh closure rows.
+            supp = _union(ctx["changed"], prev_rows)
+            if supp.shape[0]:
+                e_rows = (s[supp] - 1.0)[:, None] * base_prev[supp]
+                if prev_rows.shape[0]:
+                    pos = np.searchsorted(prev_rows, supp)
+                    pos = np.minimum(pos, prev_rows.shape[0] - 1)
+                    hit = prev_rows[pos] == supp
+                    e_rows[hit] += (
+                        s[supp[hit]][:, None] * prev_delta[pos[hit]]
+                    )
+                corr2 = np.asarray(a2b[supp].T @ e_rows)
+                reach2 = np.flatnonzero(_neighbor_mask(a2b, supp, n))
+                rows_mask[reach2] = True
+            direct2 = np.asarray(a2_closure @ base_prev)
+            if prev_rows.shape[0]:
+                direct2 += np.asarray(a2c_cols[:, prev_rows] @ prev_delta)
+            # --- assemble this round's (rows, delta) pair.
+            rows = np.flatnonzero(rows_mask)
+            delta = np.zeros((rows.shape[0], 2 * width))
+            if prev_rows.shape[0]:
+                delta[np.searchsorted(rows, reach1), :width] = corr1[reach1]
+            if supp.shape[0]:
+                delta[np.searchsorted(rows, reach2), width:] = corr2[reach2]
+            # Direct rows win over corrections (full recompute).
+            delta[np.searchsorted(rows, d1), :width] = (
+                direct1 - reps[r][d1, :width]
+            )
+            delta[np.searchsorted(rows, closure), width:] = (
+                direct2 - reps[r][closure, width:]
+            )
+            deltas.append((rows, delta))
+            prev_rows, prev_delta = rows, delta
+        # Final classify as a per-round block correction: the concat
+        # means out = out_base + sum_r delta_r @ W_r (rep 0 is
+        # graph-independent and contributes nothing).
+        out = state["out"].copy()
+        weight = model.classify.weight.data
+        offset = reps[0].shape[1]
+        for (rows, delta) in deltas:
+            out[rows] += delta @ weight[offset:offset + delta.shape[1]]
+            offset += delta.shape[1]
+        return out
+
+
+# ---------------------------------------------------------------------------
+# MixHop: adjacency powers Â^0..Â^2 per layer (receptive field 4)
+# ---------------------------------------------------------------------------
+@register_halo_plan(MixHop)
+class _MixHopPlan(HaloPlan):
+    """MixHop: correction-based power propagation over nested round sets.
+
+    The receptive field is max adjacency power (2) times the number of
+    layers (2), i.e. four propagation rounds.  ``Â`` carries self loops,
+    so the per-round reachable sets nest and the output halo is the last
+    one.  Each round patches the cached power product with (a) a direct
+    recompute of the dirty ``Â`` rows and (b) a column-restricted
+    correction ``Â[:, S_prev] @ Δ_prev`` against the cached product for
+    every other reached row — work scales with the spread of the edit,
+    never with ``|Â|`` rows (worst case ~ one dense forward), so the
+    plan opts out of the oversized-halo fallback and always runs
+    incrementally.
+    """
+
+    oversize_fallback = False
+
+    @staticmethod
+    def base_state(model: MixHop, graph: Graph) -> Dict[str, np.ndarray]:
+        return model.eval_state(graph)
+
+    @staticmethod
+    def prepare(
+        model: MixHop, graph: Graph
+    ) -> Tuple[np.ndarray, np.ndarray, dict]:
+        delta = graph.delta
+        base = delta.base
+        change = delta.degree_changes()
+        touched = delta.touched_nodes()
+        dirty = _union(
+            touched,
+            _neighbor_union(base.adjacency(), np.flatnonzero(change)),
+        )
+        pairs = _new_row_pairs(graph, dirty)
+        inv = _inv_sqrt_degrees(base.degrees() + change, add_self_loops=True)
+        pr, pc = _with_self_loops(*pairs, dirty)
+        a_rows = _row_slice_matrix(
+            dirty, pr, pc, inv[pr] * inv[pc], graph.num_nodes
+        )
+        # Non-dirty rows of Â are identical to the base matrix, so the
+        # base structure (with its self-loop diagonal) drives the round
+        # growth: S_{r+1} = dirty ∪ N_base(S_r) ⊇ S_r.  Mask arithmetic
+        # keeps the growth O(n + volume) as the sets approach n.
+        n = graph.num_nodes
+        a_base = cached_matrix(base, "gcn_norm", gcn_norm)
+        max_power = len(model.hop_linears1) - 1
+        dirty_mask = np.zeros(n, dtype=bool)
+        dirty_mask[dirty] = True
+        rounds = [dirty]
+        for _ in range(2 * max_power - 1):
+            mask = dirty_mask | _neighbor_mask(a_base, rounds[-1], n)
+            rounds.append(np.flatnonzero(mask))
+        return dirty, rounds[-1], {"rounds": rounds, "a_rows": a_rows}
+
+    @staticmethod
+    def logits(
+        model: MixHop,
+        graph: Graph,
+        state: Dict[str, np.ndarray],
+        dirty: np.ndarray,
+        halo: np.ndarray,
+        ctx: dict,
+    ) -> np.ndarray:
+        s11, s12, s21, s22 = ctx["rounds"]
+        a_rows = ctx["a_rows"]
+        ab = state["a_hat"]
+        x = graph.features
+
+        def affine(lin, rows):
+            return rows @ lin.weight.data + lin.bias.data
+
+        def corrected(cached, prev_new, prev_base, prev_rows):
+            """Cached power product + column-restricted correction +
+            direct dirty-row recompute."""
+            cur = cached.copy()
+            if prev_rows.shape[0]:
+                delta_prev = prev_new[prev_rows] - prev_base[prev_rows]
+                corr = np.asarray(ab[prev_rows].T @ delta_prev)
+                reach = np.flatnonzero(
+                    _neighbor_mask(ab, prev_rows, cur.shape[0])
+                )
+                cur[reach] += corr[reach]
+            cur[dirty] = np.asarray(a_rows @ prev_new)
+            return cur
+
+        none = np.empty(0, dtype=np.int64)
+        # Layer 1: Â x (x unchanged — direct rows only), then Â² x.
+        p11 = corrected(state["props1"][0], x, x, none)
+        p12 = corrected(state["props1"][1], p11, state["props1"][0], s11)
+        lin1 = model.hop_linears1
+        h_rows = np.concatenate(
+            [affine(lin1[0], x[s12]), affine(lin1[1], p11[s12]),
+             affine(lin1[2], p12[s12])],
+            axis=1,
+        )
+        h_rows = h_rows * (h_rows > 0)
+        h = state["h"].copy()
+        h[s12] = h_rows
+        # Layer 2: two more propagation rounds over the patched hidden.
+        p21 = corrected(state["props2"][0], h, state["h"], s12)
+        p22 = corrected(state["props2"][1], p21, state["props2"][0], s21)
+        lin2 = model.hop_linears2
+        out_rows = (
+            affine(lin2[0], h[s22]) + affine(lin2[1], p21[s22])
+            + affine(lin2[2], p22[s22])
+        ) * (1.0 / 3.0)
+        out = state["out"].copy()
+        out[s22] = out_rows
+        return out
+
+
+register_halo_plan(GCN, _GCNPlan)
+register_halo_plan(GraphSAGE, _SAGEPlan)
 
 #: Propagation caches worth delta-patching before a dense forward, for
-#: backbones without a halo plan (GAT consumes an edge list, not a cached
-#: matrix, so it has nothing to patch).
+#: backbones without a halo plan (e.g. a user backbone that opted out via
+#: ``halo_plan = None`` but still consumes a standard cached matrix).
 _FALLBACK_MATRIX_KEYS = {
     GCN: ("gcn_norm",),
     GraphSAGE: ("row_norm",),
@@ -565,9 +1409,30 @@ _FALLBACK_MATRIX_KEYS = {
 }
 
 
+def _fallback_keys(model: GNNBackbone) -> Tuple[str, ...]:
+    """Propagation caches worth patching for a plan-less ``model``.
+
+    Walks the MRO so a user subclass that opted out (``halo_plan = None``)
+    still benefits from its parent's delta-patched matrices on the dense
+    path.
+    """
+    for cls in type(model).__mro__:
+        if cls in _FALLBACK_MATRIX_KEYS:
+            return _FALLBACK_MATRIX_KEYS[cls]
+    return ()
+
+
 def supports_incremental(model: GNNBackbone) -> bool:
-    """Whether ``model`` has a halo-restricted incremental forward plan."""
-    return type(model) in _PLANS
+    """Whether ``model`` has a halo-restricted incremental forward plan.
+
+    Examples
+    --------
+    >>> supports_incremental(build_backbone("gat", 8, 2))
+    True
+    >>> supports_incremental(build_backbone("mlp", 8, 2))
+    False
+    """
+    return resolve_halo_plan(model) is not None
 
 
 # ---------------------------------------------------------------------------
@@ -580,14 +1445,25 @@ class IncrementalEvaluator:
     topology MDP, where every candidate is a small edit of the same base.
     Per model version (:meth:`invalidate` after any weight update) the
     evaluator caches the base graph's eval-mode activations; a
-    delta-carrying graph is then scored by patching the cached propagation
-    matrices (:func:`install_propagation_caches`) and re-running the
-    forward on the edit's halo only.  Everything else — unsupported
-    backbones, foreign graphs, halos above ``max_halo_frac`` of the nodes
-    — falls back transparently to the dense full-graph evaluation, still
-    delta-patching the backbone's known propagation caches first where
-    possible (:data:`_FALLBACK_MATRIX_KEYS`).  ``stats`` counts which path
-    each call took.
+    delta-carrying graph is then scored by the backbone's
+    :class:`HaloPlan`: cached propagation matrices are patched
+    (:func:`install_propagation_caches`) and the forward re-runs on the
+    edit's halo only.  Everything else — backbones without a plan, foreign
+    graphs, halos above ``max_halo_frac`` of the nodes — falls back
+    transparently to the dense full-graph evaluation, still reusing the
+    per-model-version state where the plan supports it
+    (``dense_from_state``; GAT re-normalises from cached attention
+    ingredients instead of recomputing them each step) and delta-patching
+    known propagation caches otherwise (:data:`_FALLBACK_MATRIX_KEYS`).
+    ``stats`` counts which path each call took.
+
+    Examples
+    --------
+    >>> inc = IncrementalEvaluator(model, base)
+    >>> rewired = rewire_graph(base, sequences, k, d)
+    >>> acc, loss = inc.evaluate(rewired, split.train)   # halo path
+    >>> trainer.fit(base, split, epochs=2)               # weights moved
+    >>> inc.invalidate()                                 # drop cached state
     """
 
     def __init__(
@@ -599,12 +1475,13 @@ class IncrementalEvaluator:
         self.model = model
         self.base_graph = base_graph
         self.max_halo_frac = float(max_halo_frac)
-        self._plan = _PLANS.get(type(model))
+        self._plan = resolve_halo_plan(model)
         self._state: Optional[Dict[str, np.ndarray]] = None
         self.stats = {
             "base_hits": 0,
             "halo_evals": 0,
             "full_evals": 0,
+            "state_fulls": 0,
             "invalidations": 0,
         }
 
@@ -640,7 +1517,7 @@ class IncrementalEvaluator:
                 # No halo plan for this backbone, but its propagation
                 # caches can still be delta-patched before the dense
                 # forward (H2GCN's A @ A rebuild is the big win here).
-                keys = _FALLBACK_MATRIX_KEYS.get(type(self.model), ())
+                keys = _fallback_keys(self.model)
                 if "h2gcn_a2" in graph.cache:
                     # The raw two-hop patch only feeds the normalized
                     # "h2gcn_a2" build; once that twin is memoised
@@ -650,8 +1527,8 @@ class IncrementalEvaluator:
                 if keys:
                     install_propagation_caches(graph, keys)
                     logits = self._full_logits(graph)
-                    # Same rationale: drop the raw two-hop rather than
-                    # retain the densest matrix twice per memoised graph.
+                    # Drop the raw two-hop rather than retain the densest
+                    # matrix twice per memoised graph.
                     if "two_hop" in keys:
                         graph.cache.pop("two_hop", None)
                     return logits
@@ -660,13 +1537,27 @@ class IncrementalEvaluator:
         if graph.delta.is_empty:
             self.stats["base_hits"] += 1
             return state["out"].copy()
-        dirty, halo, ctx = self._plan.prepare(graph)
-        if halo.shape[0] > self.max_halo_frac * graph.num_nodes:
-            # Too much of the graph is dirty for row slicing to pay off;
-            # patch the full propagation matrices into the graph's cache
-            # (cheaper than a rebuild) and run the dense forward.
+        dirty, halo, ctx = self._plan.prepare(self.model, graph)
+        if (
+            getattr(self._plan, "oversize_fallback", True)
+            and halo.shape[0] > self.max_halo_frac * graph.num_nodes
+        ):
+            # Too much of the graph is dirty for row slicing to pay off.
+            # Plans with a state-reusing dense path (GAT) still evaluate
+            # from the per-model-version cache — the satellite bugfix:
+            # attention state is cached-and-invalidated once per version
+            # even on the dense path, never recomputed per step.
+            dense = getattr(self._plan, "dense_from_state", None)
+            if dense is not None:
+                self.stats["state_fulls"] += 1
+                return dense(self.model, graph, state, dirty, ctx)
+            # Otherwise patch the full propagation matrices into the
+            # graph's cache (cheaper than a rebuild) and run dense.
             install_propagation_caches(graph, self._plan.matrix_keys)
-            return self._full_logits(graph)
+            logits = self._full_logits(graph)
+            for key in getattr(self._plan, "drop_after_dense", ()):
+                graph.cache.pop(key, None)
+            return logits
         self.stats["halo_evals"] += 1
         return self._plan.logits(self.model, graph, state, dirty, halo, ctx)
 

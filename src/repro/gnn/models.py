@@ -4,6 +4,16 @@ Each follows the layer equations of the cited original papers (Sec. IV-C
 adopts the backbones unchanged: the RARE framework only alters the graph
 they run on).  All models default to two propagation layers, hidden width
 64 and dropout 0.5, matching the paper's hyper-parameter setting (Sec. V-C).
+
+Backbones that participate in the incremental reward engine
+(:mod:`repro.gnn.incremental`) additionally expose an ``eval_state`` hook:
+one instrumented eval-mode forward that returns the final logits *plus*
+the intermediate activations the backbone's halo plan patches per rewire
+(per-layer propagation products, GAT's per-node attention ingredients).
+The hook runs the exact same tensor ops as ``forward`` — its captured
+arrays are bitwise identical to a plain forward, which is what the
+engine's off-halo exactness contract builds on (see
+``docs/equivalence-policy.md``).
 """
 
 from __future__ import annotations
@@ -110,7 +120,7 @@ class GATLayer(GNNBackbone):
         self.att_dst = Linear(out_features, 1, rng, bias=False)
         self.out_features = out_features
 
-    def forward(self, graph: Graph, x: Tensor) -> Tensor:
+    def forward(self, graph: Graph, x: Tensor, record: dict | None = None) -> Tensor:
         n = graph.num_nodes
         edge_index = cached_matrix(
             graph, "edge_index_loops", _edge_index_with_self_loops
@@ -119,11 +129,15 @@ class GATLayer(GNNBackbone):
 
         h = self.linear(x)  # (n, heads*out)
         outputs = []
+        asrc_cols, adst_cols = [], []
         for head in range(self.heads):
             cols = slice(head * self.out_features, (head + 1) * self.out_features)
             head_h = _slice_cols(h, cols)
             alpha_src = self.att_src(head_h)  # (n, 1)
             alpha_dst = self.att_dst(head_h)
+            if record is not None:
+                asrc_cols.append(alpha_src.data)
+                adst_cols.append(alpha_dst.data)
             logits = ops.leaky_relu(
                 ops.gather_rows(alpha_src, src) + ops.gather_rows(alpha_dst, dst),
                 self.negative_slope,
@@ -131,6 +145,13 @@ class GATLayer(GNNBackbone):
             att = ops.segment_softmax(logits, dst, n)  # (E, 1)
             messages = ops.gather_rows(head_h, src) * att
             outputs.append(ops.scatter_add_rows(messages, dst, n))
+        if record is not None:
+            # The per-node attention ingredients the incremental engine's
+            # halo plan resplices: transformed features plus the per-head
+            # (n, heads) source/destination attention coefficients.
+            record["h"] = h.data
+            record["asrc"] = np.concatenate(asrc_cols, axis=1)
+            record["adst"] = np.concatenate(adst_cols, axis=1)
         if self.concat:
             return ops.concat(outputs, axis=1)
         total = outputs[0]
@@ -140,9 +161,8 @@ class GATLayer(GNNBackbone):
 
 
 def _slice_cols(x: Tensor, cols: slice) -> Tensor:
-    """Differentiable column slice via gather on the transpose."""
-    idx = np.arange(cols.start, cols.stop)
-    return ops.transpose(ops.gather_rows(ops.transpose(x), idx))
+    """Differentiable column slice (head / block selection)."""
+    return ops.gather_cols(x, cols)
 
 
 def _edge_index_with_self_loops(graph: Graph) -> np.ndarray:
@@ -176,6 +196,31 @@ class GAT(GNNBackbone):
         h = self.dropout(h)
         return self.layer2(graph, h)
 
+    def eval_state(self, graph: Graph) -> dict:
+        """Instrumented eval-mode forward for the incremental halo plan.
+
+        Runs the exact ops of :meth:`forward` (eval mode, so dropout is the
+        identity) while capturing, per attention layer, the per-node
+        transformed features and attention coefficients, plus the post-ELU
+        layer-1 activations and the final logits.  Captured arrays are
+        bitwise identical to a plain ``predict_logits`` call.
+        """
+        was_training = self.training
+        self.eval()
+        layer1: dict = {}
+        layer2: dict = {}
+        h = self.dropout(Tensor(graph.features))
+        act1 = ops.elu(self.layer1(graph, h, record=layer1))
+        out = self.layer2(graph, self.dropout(act1), record=layer2)
+        if was_training:
+            self.train()
+        return {
+            "layer1": layer1,
+            "act1": act1.data,
+            "layer2": layer2,
+            "out": out.data,
+        }
+
 
 class H2GCN(GNNBackbone):
     """H2GCN (Zhu et al., NeurIPS 2020), with its three designs:
@@ -204,6 +249,9 @@ class H2GCN(GNNBackbone):
         self.dropout = Dropout(dropout, rng)
 
     def forward(self, graph: Graph, x: Tensor) -> Tensor:
+        return self._run(graph, x)
+
+    def _run(self, graph: Graph, x: Tensor, record: dict | None = None) -> Tensor:
         a1 = cached_matrix(
             graph, "h2gcn_a1", lambda g: gcn_norm(g, add_self_loops=False)
         )
@@ -218,7 +266,30 @@ class H2GCN(GNNBackbone):
             )
             reps.append(current)
         final = ops.concat(reps, axis=1)
-        return self.classify(self.dropout(final))
+        out = self.classify(self.dropout(final))
+        if record is not None:
+            record["reps"] = [r.data for r in reps]
+            record["out"] = out.data
+            record["a1"] = a1
+            record["a2"] = a2
+        return out
+
+    def eval_state(self, graph: Graph) -> dict:
+        """Instrumented eval-mode forward for the incremental halo plan.
+
+        Captures every round's representation matrix (``reps[0]`` is the
+        graph-independent embedding, ``reps[r]`` the round-``r`` concat of
+        1-hop and strict-2-hop aggregations), the final logits, and the two
+        propagation matrices.  Captured arrays are bitwise identical to a
+        plain ``predict_logits`` call.
+        """
+        was_training = self.training
+        self.eval()
+        record: dict = {}
+        self._run(graph, Tensor(graph.features), record)
+        if was_training:
+            self.train()
+        return record
 
 
 def _normalized_two_hop(graph: Graph):
@@ -258,19 +329,26 @@ class MixHop(GNNBackbone):
         self.hop_linears2 = [Linear(3 * width, num_classes, rng) for _ in range(3)]
         self.dropout = Dropout(dropout, rng)
 
-    def _mix(self, graph: Graph, h: Tensor, linears) -> Tensor:
+    def _mix(self, graph: Graph, h: Tensor, linears, record: list | None = None) -> Tensor:
         a_hat = cached_matrix(graph, "gcn_norm", gcn_norm)
         pieces = []
         propagated = h
         for power, lin in enumerate(linears):
             if power > 0:
                 propagated = ops.spmm(a_hat, propagated)
+                if record is not None:
+                    record.append(propagated.data)
             pieces.append(lin(propagated))
         return ops.concat(pieces, axis=1)
 
     def forward(self, graph: Graph, x: Tensor) -> Tensor:
-        h = ops.relu(self._mix(graph, self.dropout(x), self.hop_linears1))
-        out = self._mix(graph, self.dropout(h), self.hop_linears2)
+        return self._run(graph, x)
+
+    def _run(self, graph: Graph, x: Tensor, record: dict | None = None) -> Tensor:
+        props1: list | None = None if record is None else []
+        props2: list | None = None if record is None else []
+        h = ops.relu(self._mix(graph, self.dropout(x), self.hop_linears1, props1))
+        out = self._mix(graph, self.dropout(h), self.hop_linears2, props2)
         # Average the three output blocks into class logits.
         n_cls = self.num_classes
         blocks = [
@@ -279,7 +357,30 @@ class MixHop(GNNBackbone):
         total = blocks[0]
         for b in blocks[1:]:
             total = total + b
-        return total * (1.0 / 3.0)
+        total = total * (1.0 / 3.0)
+        if record is not None:
+            record["props1"] = props1  # [Â x, Â² x]
+            record["h"] = h.data
+            record["props2"] = props2  # [Â h, Â² h]
+            record["out"] = total.data
+            record["a_hat"] = cached_matrix(graph, "gcn_norm", gcn_norm)
+        return total
+
+    def eval_state(self, graph: Graph) -> dict:
+        """Instrumented eval-mode forward for the incremental halo plan.
+
+        Captures each layer's adjacency-power propagation products
+        (``Â x``, ``Â² x``, ``Â h``, ``Â² h``), the post-ReLU hidden layer,
+        the averaged logits and the normalised adjacency.  Captured arrays
+        are bitwise identical to a plain ``predict_logits`` call.
+        """
+        was_training = self.training
+        self.eval()
+        record: dict = {}
+        self._run(graph, Tensor(graph.features), record)
+        if was_training:
+            self.train()
+        return record
 
 
 BACKBONES = {

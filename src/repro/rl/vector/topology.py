@@ -148,7 +148,9 @@ class VecTopologyEnv(VecEnv):
         # per-episode scoring, and one over the block-diagonal stacked
         # root for the batched forward; both patch matrices /
         # halo-evaluate from the per-episode deltas the rewire engine
-        # records.  The stacked root (B copies of its edge keys) and its
+        # records, for any backbone with a registered halo plan (GCN,
+        # GraphSAGE, GAT, H2GCN, MixHop, user plans) — no backbone gate;
+        # plan-less backbones fall back inside the evaluator.  The stacked root (B copies of its edge keys) and its
         # evaluator are built lazily on the first stacked evaluation —
         # reward_batching="loop" never pays for them.
         self._delta_root: Graph = (
@@ -156,7 +158,10 @@ class VecTopologyEnv(VecEnv):
         )
         self._stacked_base_graph: Optional[Graph] = None
         self._inc: Optional[IncrementalEvaluator] = (
-            IncrementalEvaluator(model, self._delta_root)
+            IncrementalEvaluator(
+                model, self._delta_root,
+                max_halo_frac=config.max_halo_frac,
+            )
             if config.incremental_reward
             else None
         )
@@ -320,7 +325,8 @@ class VecTopologyEnv(VecEnv):
             # halos are re-scored against the cached stacked-base logits.
             if self._inc_stacked is None:
                 self._inc_stacked = IncrementalEvaluator(
-                    self.model, self._get_stacked_base()
+                    self.model, self._get_stacked_base(),
+                    max_halo_frac=self.config.max_halo_frac,
                 )
             logits = self._inc_stacked.predict_logits(stacked)
         else:

@@ -405,17 +405,38 @@ def scatter_add_rows(src: Tensor, index: np.ndarray, num_rows: int) -> Tensor:
     """Sum rows of ``src`` into ``num_rows`` buckets given by ``index``.
 
     The inverse of :func:`gather_rows`: ``out[i] = sum_{j: index[j]=i} src[j]``.
+    The forward values come from :func:`segment_sum_array`, the shared core
+    the incremental engine's gradient-free twin uses.
     """
     src = _t(src)
     index = np.asarray(index, dtype=np.int64)
-    out_shape = (num_rows,) + src.shape[1:]
-    out_data = np.zeros(out_shape)
-    np.add.at(out_data, index, src.data)
+    out_data = segment_sum_array(src.data, index, num_rows)
 
     def backward(grad: np.ndarray) -> None:
         src._accumulate(grad[index])
 
     return Tensor._make(out_data, (src,), backward)
+
+
+def gather_cols(x: Tensor, index) -> Tensor:
+    """Select columns ``x[:, index]``; duplicate indices are supported.
+
+    The column twin of :func:`gather_rows` (head slicing in GAT / MixHop
+    block selection) without the transpose-gather-transpose dance.
+    ``index`` may be an integer array or a ``slice``.
+    """
+    x = _t(x)
+    if isinstance(index, slice):
+        index = np.arange(*index.indices(x.shape[1]))
+    index = np.asarray(index, dtype=np.int64)
+    out_data = x.data[:, index]
+
+    def backward(grad: np.ndarray) -> None:
+        buf = np.zeros_like(x.data)
+        np.add.at(buf.T, index, grad.T)
+        x._accumulate(buf)
+
+    return Tensor._make(out_data, (x,), backward)
 
 
 # ---------------------------------------------------------------------------
@@ -447,24 +468,63 @@ def softmax(a: Tensor, axis: int = -1) -> Tensor:
     return Tensor._make(out_data, (a,), backward)
 
 
+def segment_softmax_array(
+    data: np.ndarray, segment_ids: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Plain-array segment softmax — the float core of :func:`segment_softmax`.
+
+    Entries sharing a segment id are normalised together; the per-segment
+    max is subtracted for numerical stability.  This is the exact float
+    sequence the Tensor op runs (the op delegates here), exposed for
+    gradient-free consumers: the incremental engine's halo-restricted
+    edge-softmax re-normalisation feeds it sub-edge lists gathered for the
+    dirty destination rows only, and relies on the two paths never
+    diverging.  Per segment the accumulation order equals the order in
+    which that segment's entries appear in ``data`` — gather sub-edges in
+    the full forward's per-destination order to reproduce its sums
+    bitwise.
+    """
+    data = np.asarray(data)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    seg_max = np.full((num_segments,) + data.shape[1:], -np.inf)
+    np.maximum.at(seg_max, segment_ids, data)
+    shifted = data - seg_max[segment_ids]
+    e = np.exp(shifted)
+    denom = np.zeros((num_segments,) + data.shape[1:])
+    np.add.at(denom, segment_ids, e)
+    return e / denom[segment_ids]
+
+
+def segment_sum_array(
+    data: np.ndarray, segment_ids: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Plain-array segment sum — the float core of :func:`scatter_add_rows`.
+
+    ``out[i] = sum_{j: segment_ids[j] = i} data[j]``, accumulated in the
+    order the entries appear in ``data`` (the :func:`numpy.add.at`
+    guarantee the incremental engine's bitwise off-halo contract builds
+    on).
+    """
+    data = np.asarray(data)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    out = np.zeros((num_segments,) + data.shape[1:])
+    np.add.at(out, segment_ids, data)
+    return out
+
+
 def segment_softmax(logits: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
     """Softmax over variable-sized segments (edge-softmax for GAT).
 
     ``logits`` has shape ``(E,)`` or ``(E, H)``; entries sharing a segment id
     (destination node) are normalised together.  The per-segment max used for
     numerical stability is treated as a constant, which leaves the gradient
-    of the softmax unchanged.
+    of the softmax unchanged.  The forward values come from
+    :func:`segment_softmax_array` so the gradient-free twin the incremental
+    engine uses can never drift from this op.
     """
     logits = _t(logits)
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
-
-    seg_max = np.full((num_segments,) + logits.shape[1:], -np.inf)
-    np.maximum.at(seg_max, segment_ids, logits.data)
-    shifted = logits.data - seg_max[segment_ids]
-    e = np.exp(shifted)
-    denom = np.zeros((num_segments,) + logits.shape[1:])
-    np.add.at(denom, segment_ids, e)
-    out_data = e / denom[segment_ids]
+    out_data = segment_softmax_array(logits.data, segment_ids, num_segments)
 
     def backward(grad: np.ndarray) -> None:
         weighted = grad * out_data

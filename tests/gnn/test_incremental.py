@@ -20,6 +20,7 @@ from repro.core import RareConfig, TopologyEnv, clamp_state, rewire_graph
 from repro.datasets import planted_partition_graph
 from repro.entropy import RelativeEntropy, build_entropy_sequences
 from repro.gnn import (
+    H2GCN,
     IncrementalEvaluator,
     Trainer,
     build_backbone,
@@ -246,7 +247,7 @@ def test_halo_logits_match_full_forward(world, models, backbone, ks, ds):
     np.testing.assert_array_equal(fast.argmax(axis=-1), ref.argmax(axis=-1))
     if not out.delta.is_empty:
         assert inc.stats["halo_evals"] == 1
-        _, halo, _ = _PLANS[type(model)].prepare(out)
+        _, halo, _ = _PLANS[type(model)].prepare(model, out)
         off = np.setdiff1d(np.arange(N), halo)
         np.testing.assert_array_equal(fast[off], ref[off])
 
@@ -330,21 +331,26 @@ def test_unsupported_backbone_falls_back(world):
     assert inc.stats["full_evals"] == 1 and inc.stats["halo_evals"] == 0
 
 
-def test_unplanned_backbone_fallback_still_patches_caches(world):
-    """H2GCN has no halo plan, but its delta-carrying graphs still get
-    delta-patched propagation matrices before the dense forward."""
+def test_opted_out_backbone_fallback_still_patches_caches(world):
+    """A backbone that opts out of the halo engine (``halo_plan = None``)
+    still gets delta-patched propagation matrices before every dense
+    forward — the MRO walk finds its parent's cache keys."""
     graph, seqs, split = world
-    model = build_backbone(
-        "h2gcn", graph.num_features, graph.num_classes,
+
+    class DenseH2GCN(H2GCN):
+        halo_plan = None
+
+    model = DenseH2GCN(
+        graph.num_features, graph.num_classes,
         hidden=8, rng=np.random.default_rng(4),
     )
     assert not supports_incremental(model)
     inc = IncrementalEvaluator(model, graph)
     out = rewire_graph(graph, seqs, np.ones(N, np.int64), np.zeros(N, np.int64))
     got = inc.evaluate(out, split.train)
-    assert inc.stats["full_evals"] == 1
-    # The patched h2gcn_a1 stays; the raw two-hop was consumed by the
-    # forward's normalized "h2gcn_a2" build and then dropped.
+    assert inc.stats["full_evals"] == 1 and inc.stats["halo_evals"] == 0
+    # Both H2GCN matrices were delta-patched, bitwise equal to fresh
+    # builds; the raw A @ A rebuild never ran on the derived graph.
     assert "h2gcn_a1" in out.cache and "h2gcn_a2" in out.cache
     assert "two_hop" not in out.cache
     np.testing.assert_array_equal(

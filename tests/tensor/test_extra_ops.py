@@ -206,3 +206,41 @@ def test_scatter_patch_rows_shape_mismatch():
         ops.scatter_patch_rows(
             Tensor(np.zeros((4, 2))), np.array([0]), Tensor(np.zeros((2, 2)))
         )
+
+
+def test_gather_cols_forward_and_grad():
+    x = RNG.standard_normal((4, 6))
+    idx = np.array([5, 0, 2])
+    np.testing.assert_array_equal(
+        ops.gather_cols(Tensor(x), idx).data, x[:, idx]
+    )
+    # Slices resolve against the column count; duplicates accumulate.
+    np.testing.assert_array_equal(
+        ops.gather_cols(Tensor(x), slice(1, 4)).data, x[:, 1:4]
+    )
+    assert gradcheck(lambda t: ops.gather_cols(t, idx), [x])
+    assert gradcheck(
+        lambda t: ops.gather_cols(t, np.array([1, 1, 3])), [x]
+    )
+
+
+def test_segment_softmax_array_is_bitwise_twin_of_op():
+    ids = np.array([0, 0, 1, 2, 2, 2])
+    logits = RNG.standard_normal((6, 2))
+    fast = ops.segment_softmax_array(logits, ids, 3)
+    ref = ops.segment_softmax(Tensor(logits), ids, 3).data
+    np.testing.assert_array_equal(fast, ref)
+    # Per-segment normalisation sums to one.
+    sums = np.zeros((3, 2))
+    np.add.at(sums, ids, fast)
+    np.testing.assert_allclose(sums, 1.0)
+
+
+def test_segment_sum_array_is_bitwise_twin_of_op():
+    ids = np.array([2, 0, 2, 1])
+    vals = RNG.standard_normal((4, 3))
+    fast = ops.segment_sum_array(vals, ids, 4)
+    ref = ops.scatter_add_rows(Tensor(vals), ids, 4).data
+    np.testing.assert_array_equal(fast, ref)
+    assert fast.shape == (4, 3)
+    np.testing.assert_array_equal(fast[3], 0.0)
