@@ -1,6 +1,6 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test doclint bench-smoke bench-scaling bench-rollout bench-entropy bench-reward bench-halo
+.PHONY: test doclint bench-smoke bench-scaling bench-rollout bench-entropy bench-reward bench-halo bench-backend
 
 test:
 	$(PY) -m pytest -x -q
@@ -9,7 +9,7 @@ test:
 # symbol of repro.gnn must carry a docstring.  Mirrored in the tier-1
 # suite (tests/gnn/test_docstrings.py) and run as a CI step.
 doclint:
-	python tools/doclint.py src/repro/gnn
+	python tools/doclint.py src/repro/gnn src/repro/tensor
 
 # Fast sanity run (< 90 s): the CSR scaling benchmark at small N (asserts
 # the >= 5x speedup contract) plus small-N passes of both incremental
@@ -20,6 +20,7 @@ bench-smoke:
 	$(PY) benchmarks/bench_scaling_rewire.py --sizes 1000 5000 --steps 5
 	$(PY) benchmarks/bench_incremental_reward.py --nodes 1500 --edits 2 --steps 6 --repeats 2
 	$(PY) benchmarks/bench_halo_backbones.py --nodes 1500 --edits 2 --steps 4 --repeats 2
+	$(PY) benchmarks/bench_backend_kernels.py --sizes 2000
 
 # Full trajectory including the 20k-node fast-path-only point.
 bench-scaling:
@@ -51,3 +52,10 @@ bench-reward:
 # into bench_results/.
 bench-halo:
 	$(PY) benchmarks/bench_halo_backbones.py
+
+# Accelerated tensor-backend kernels (numba spmm + segment softmax) vs
+# the numpy reference at N = 20k; every timed pair is allclose-checked
+# in-bench, the >= 3x contract is asserted on spmm or segment softmax,
+# and JSON lands in bench_results/.  Skips cleanly when numba is absent.
+bench-backend:
+	$(PY) benchmarks/bench_backend_kernels.py

@@ -23,6 +23,7 @@ from .core import GraphRARE, RareConfig, analyze_rewiring, rewire_graph
 from .datasets import dataset_names, load_dataset
 from .entropy import RelativeEntropy, build_entropy_sequences
 from .graph import degree_statistics, geom_gcn_splits, homophily_ratio, save_graph
+from .tensor import use_backend
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,6 +49,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker-pool width for the sharded entropy "
                             "build (results are byte-identical for every "
                             "worker count)")
+        p.add_argument("--tensor-backend", default="numpy",
+                       choices=["numpy", "accel", "auto"],
+                       help="tensor kernel backend: the byte-identical "
+                            "numpy reference (default), the numba-JIT "
+                            "accelerated kernels (accel; warns and falls "
+                            "back when numba is missing), or auto "
+                            "(accelerated when available)")
 
     info = sub.add_parser("info", help="print dataset statistics")
     add_dataset_args(info)
@@ -120,6 +128,7 @@ def cmd_run(args) -> int:
         max_halo_frac=args.max_halo_frac,
         screening=args.screening,
         num_workers=args.num_workers,
+        tensor_backend=args.tensor_backend,
         seed=args.seed,
     )
     base_accs, rare_accs, gains = [], [], []
@@ -144,11 +153,12 @@ def cmd_run(args) -> int:
 
 def cmd_rewire(args) -> int:
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    entropy = RelativeEntropy.from_graph(graph, lam=args.lam)
-    sequences = build_entropy_sequences(
-        graph, entropy, max_candidates=max(8, args.k),
-        screening=args.screening, num_workers=args.num_workers,
-    )
+    with use_backend(args.tensor_backend):
+        entropy = RelativeEntropy.from_graph(graph, lam=args.lam)
+        sequences = build_entropy_sequences(
+            graph, entropy, max_candidates=max(8, args.k),
+            screening=args.screening, num_workers=args.num_workers,
+        )
     n = graph.num_nodes
     k = np.minimum(args.k, (sequences.remote >= 0).sum(axis=1))
     d = np.minimum(args.d, graph.degrees())

@@ -109,6 +109,18 @@ class RareConfig:
     multiple of ``num_envs`` (and the per-iteration reward/accuracy curves
     have ``ceil(episodes / num_envs)`` entries)."""
 
+    # --- execution substrate -------------------------------------------
+    tensor_backend: str = "numpy"
+    """Kernel backend for the tensor substrate
+    (:mod:`repro.tensor.backends`): ``"numpy"`` (default) is the
+    byte-identical reference every equivalence contract is written
+    against; ``"accel"`` requests the numba-JIT kernels (allclose to the
+    reference; falls back to numpy with a warning when numba is not
+    installed); ``"auto"`` uses the accelerated backend when available
+    and the reference otherwise, silently.  The choice is scoped to the
+    run (``GraphRARE.fit`` activates it via
+    :func:`repro.tensor.use_backend`), never set globally."""
+
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -134,6 +146,11 @@ class RareConfig:
         if not 0.0 <= self.max_halo_frac <= 1.0:
             raise ValueError(
                 f"max_halo_frac must be in [0, 1], got {self.max_halo_frac}"
+            )
+        if self.tensor_backend not in ("numpy", "accel", "auto"):
+            raise ValueError(
+                f"tensor_backend must be 'numpy', 'accel' or 'auto', "
+                f"got {self.tensor_backend!r}"
             )
         from ..rl import AGENTS
 

@@ -17,6 +17,7 @@ from ..entropy import EntropySequences, RelativeEntropy, build_entropy_sequences
 from ..gnn import GNNBackbone, Trainer, build_backbone, evaluate
 from ..graph import Graph, Split, homophily_ratio
 from ..rl import NodePolicy, build_agent
+from ..tensor import use_backend
 from .config import RareConfig
 from .env import OBS_DIM, TopologyEnv
 
@@ -111,8 +112,23 @@ class GraphRARE:
         ``sequences`` may be supplied to reuse a precomputed entropy ranking
         across splits (the paper computes entropy once per dataset);
         ``shuffle_sequences`` activates the "without relative entropy"
-        ablation.
+        ablation.  The whole run executes under the configured tensor
+        backend (``RareConfig.tensor_backend``), scoped so concurrent or
+        subsequent runs keep their own choice.
         """
+        with use_backend(self.config.tensor_backend):
+            return self._fit(
+                graph, split, sequences, shuffle_sequences, train_baseline
+            )
+
+    def _fit(
+        self,
+        graph: Graph,
+        split: Split,
+        sequences: Optional[EntropySequences],
+        shuffle_sequences: bool,
+        train_baseline: bool,
+    ) -> RareResult:
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
 

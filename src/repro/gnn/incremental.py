@@ -72,7 +72,8 @@ reference twin (``RareConfig.incremental_reward = False``).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -81,12 +82,14 @@ from ..graph import Graph
 from ..graph.graph import _member_sorted
 from ..graph.normalize import gcn_norm, row_norm, two_hop_adjacency
 from ..tensor import Tensor, ops
+from ..tensor.backends import active_backend
 from .base import GNNBackbone, cached_matrix
 from .models import GAT, GCN, H2GCN, GraphSAGE, MixHop, _normalized_two_hop
 
 __all__ = [
     "HaloPlan",
     "IncrementalEvaluator",
+    "ScratchBuffers",
     "grow_halo",
     "install_propagation_caches",
     "patched_adjacency",
@@ -98,6 +101,97 @@ __all__ = [
     "resolve_halo_plan",
     "supports_incremental",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Backend plumbing + per-evaluation scratch buffers
+# ---------------------------------------------------------------------------
+def _spmm(matrix: sp.spmatrix, dense: np.ndarray) -> np.ndarray:
+    """Sparse-dense product through the active tensor backend.
+
+    Every raw ``np.asarray(matrix @ dense)`` in the correction paths
+    routes through here so the numba backend (when selected) serves the
+    same sites as the reference — the numpy backend computes the exact
+    historical expression, keeping the bitwise off-halo contract intact.
+    """
+    return active_backend().spmm(matrix, dense)
+
+
+class ScratchBuffers:
+    """A free-list of reusable boolean mask buffers, keyed by length.
+
+    The correction-based halo plans (H2GCN, MixHop) allocate a handful of
+    ``np.zeros(n, bool)`` masks per round — membership masks in
+    :func:`_neighbor_mask`, per-round reach masks, halo accumulators.  At
+    RL-loop rates that is pure allocator traffic: every evaluation frees
+    exactly what it allocated.  The evaluator therefore owns one pool and
+    leases buffers to the plan code for the duration of a single
+    evaluation (:func:`_scratch_session`); leased buffers are zeroed on
+    hand-out, so reuse can never leak one evaluation's marks into the
+    next (regression-tested in ``tests/gnn/test_incremental.py``).
+
+    Plan code never touches the pool directly — it calls
+    :func:`_bool_scratch`, which falls back to a fresh allocation when no
+    session is active (plans and patch helpers stay usable standalone).
+
+    Examples
+    --------
+    >>> pool = ScratchBuffers()
+    >>> with _scratch_session(pool):
+    ...     mask = _bool_scratch(graph.num_nodes)   # leased, all-False
+    >>> pool.bool_mask(4) is pool.bool_mask(4)      # fresh lease per call
+    False
+    """
+
+    def __init__(self) -> None:
+        self._free: Dict[int, List[np.ndarray]] = {}
+        self._leased: List[np.ndarray] = []
+
+    def bool_mask(self, n: int) -> np.ndarray:
+        """Lease a zeroed boolean buffer of length ``n``."""
+        free = self._free.get(n)
+        if free:
+            buf = free.pop()
+            buf.fill(False)
+        else:
+            buf = np.zeros(n, dtype=bool)
+        self._leased.append(buf)
+        return buf
+
+    def release_all(self) -> None:
+        """Return every leased buffer to the free list (contents stale)."""
+        for buf in self._leased:
+            self._free.setdefault(buf.shape[0], []).append(buf)
+        self._leased.clear()
+
+
+_ACTIVE_SCRATCH: Optional[ScratchBuffers] = None
+
+
+def _bool_scratch(n: int) -> np.ndarray:
+    """A zeroed bool mask of length ``n`` — leased when a session is live."""
+    if _ACTIVE_SCRATCH is not None:
+        return _ACTIVE_SCRATCH.bool_mask(n)
+    return np.zeros(n, dtype=bool)
+
+
+@contextmanager
+def _scratch_session(scratch: ScratchBuffers):
+    """Activate ``scratch`` for the extent of one evaluation.
+
+    On exit every leased buffer returns to the pool, so nothing handed
+    out here may outlive the ``with`` block — plan return values are
+    always ``flatnonzero`` copies or freshly assembled arrays, never the
+    masks themselves.
+    """
+    global _ACTIVE_SCRATCH
+    previous = _ACTIVE_SCRATCH
+    _ACTIVE_SCRATCH = scratch
+    try:
+        yield scratch
+    finally:
+        _ACTIVE_SCRATCH = previous
+        scratch.release_all()
 
 
 # ---------------------------------------------------------------------------
@@ -140,8 +234,9 @@ def _neighbor_mask(
 ) -> np.ndarray:
     """Boolean membership mask of :func:`_neighbor_union` — O(n + volume)
     with no sort, the hot-path twin for the correction-based plans whose
-    reachable sets grow toward ``n``."""
-    mask = np.zeros(n, dtype=bool)
+    reachable sets grow toward ``n``.  The mask comes from the active
+    scratch pool when an evaluation session is live."""
+    mask = _bool_scratch(n)
     if len(rows):
         _, cols = _gather_segments(matrix.indptr, matrix.indices, rows)
         mask[cols] = True
@@ -804,10 +899,10 @@ class _GCNPlan(HaloPlan):
     def base_state(model: GCN, graph: Graph) -> Dict[str, np.ndarray]:
         a_hat = cached_matrix(graph, "gcn_norm", gcn_norm)
         xw1 = model.lin1(Tensor(graph.features)).data
-        h1 = np.asarray(a_hat @ xw1)
+        h1 = _spmm(a_hat, xw1)
         h1 = h1 * (h1 > 0)
         z = model.lin2(Tensor(h1)).data
-        out = np.asarray(a_hat @ z)
+        out = _spmm(a_hat, z)
         return {"a_hat": a_hat, "xw1": xw1, "z": z, "out": out}
 
     @staticmethod
@@ -865,11 +960,11 @@ class _SAGEPlan(HaloPlan):
         m = cached_matrix(graph, "row_norm", row_norm)
         x = Tensor(graph.features)
         s1x = model.self1(x).data
-        h1 = s1x + model.neigh1(Tensor(np.asarray(m @ graph.features))).data
+        h1 = s1x + model.neigh1(Tensor(_spmm(m, graph.features))).data
         h1 = h1 * (h1 > 0)
         out = (
             model.self2(Tensor(h1)).data
-            + model.neigh2(Tensor(np.asarray(m @ h1))).data
+            + model.neigh2(Tensor(_spmm(m, h1))).data
         )
         return {"m": m, "s1x": s1x, "h1": h1, "out": out}
 
@@ -1159,15 +1254,15 @@ class _H2GCNPlan(HaloPlan):
         # arithmetic keeps this O(n + volume) as the sets grow.
         n = graph.num_nodes
         base_adj = base.adjacency()
-        static_mask = np.zeros(n, dtype=bool)
+        static_mask = _bool_scratch(n)
         static_mask[closure] = True
         static_mask[d1] = True
-        changed_mask = np.zeros(n, dtype=bool)
+        changed_mask = _bool_scratch(n)
         changed_mask[changed] = True
         rounds = []
         prev = np.empty(0, dtype=np.int64)
-        prev_mask = np.zeros(n, dtype=bool)
-        halo_mask = np.zeros(n, dtype=bool)
+        prev_mask = _bool_scratch(n)
+        halo_mask = _bool_scratch(n)
         for _ in range(int(model.rounds)):
             supp = np.flatnonzero(changed_mask | prev_mask)
             mask = (
@@ -1222,18 +1317,18 @@ class _H2GCNPlan(HaloPlan):
         for r in range(1, len(reps)):
             base_prev = reps[r - 1]
             width = base_prev.shape[1]
-            rows_mask = np.zeros(n, dtype=bool)
+            rows_mask = _bool_scratch(n)
             rows_mask[d1] = True
             rows_mask[closure] = True
             # --- A1 block: column-restricted correction against the
             # cached product; dirty rows recomputed directly.
             if prev_rows.shape[0]:
-                corr1 = np.asarray(a1b[prev_rows].T @ prev_delta)
+                corr1 = _spmm(a1b[prev_rows].T, prev_delta)
                 reach1 = np.flatnonzero(_neighbor_mask(a1b, prev_rows, n))
                 rows_mask[reach1] = True
-            direct1 = np.asarray(a1_rows @ base_prev)
+            direct1 = _spmm(a1_rows, base_prev)
             if prev_rows.shape[0]:
-                direct1 += np.asarray(a1_cols[:, prev_rows] @ prev_delta)
+                direct1 += _spmm(a1_cols[:, prev_rows], prev_delta)
             # --- A2 block: rescale-aware correction (e = s ⊙ c' - c on
             # its support) + fresh closure rows.
             supp = _union(ctx["changed"], prev_rows)
@@ -1246,12 +1341,12 @@ class _H2GCNPlan(HaloPlan):
                     e_rows[hit] += (
                         s[supp[hit]][:, None] * prev_delta[pos[hit]]
                     )
-                corr2 = np.asarray(a2b[supp].T @ e_rows)
+                corr2 = _spmm(a2b[supp].T, e_rows)
                 reach2 = np.flatnonzero(_neighbor_mask(a2b, supp, n))
                 rows_mask[reach2] = True
-            direct2 = np.asarray(a2_closure @ base_prev)
+            direct2 = _spmm(a2_closure, base_prev)
             if prev_rows.shape[0]:
-                direct2 += np.asarray(a2c_cols[:, prev_rows] @ prev_delta)
+                direct2 += _spmm(a2c_cols[:, prev_rows], prev_delta)
             # --- assemble this round's (rows, delta) pair.
             rows = np.flatnonzero(rows_mask)
             delta = np.zeros((rows.shape[0], 2 * width))
@@ -1330,7 +1425,7 @@ class _MixHopPlan(HaloPlan):
         n = graph.num_nodes
         a_base = cached_matrix(base, "gcn_norm", gcn_norm)
         max_power = len(model.hop_linears1) - 1
-        dirty_mask = np.zeros(n, dtype=bool)
+        dirty_mask = _bool_scratch(n)
         dirty_mask[dirty] = True
         rounds = [dirty]
         for _ in range(2 * max_power - 1):
@@ -1361,12 +1456,12 @@ class _MixHopPlan(HaloPlan):
             cur = cached.copy()
             if prev_rows.shape[0]:
                 delta_prev = prev_new[prev_rows] - prev_base[prev_rows]
-                corr = np.asarray(ab[prev_rows].T @ delta_prev)
+                corr = _spmm(ab[prev_rows].T, delta_prev)
                 reach = np.flatnonzero(
                     _neighbor_mask(ab, prev_rows, cur.shape[0])
                 )
                 cur[reach] += corr[reach]
-            cur[dirty] = np.asarray(a_rows @ prev_new)
+            cur[dirty] = _spmm(a_rows, prev_new)
             return cur
 
         none = np.empty(0, dtype=np.int64)
@@ -1477,6 +1572,10 @@ class IncrementalEvaluator:
         self.max_halo_frac = float(max_halo_frac)
         self._plan = resolve_halo_plan(model)
         self._state: Optional[Dict[str, np.ndarray]] = None
+        # Per-evaluator mask pool: the correction plans' per-round bool
+        # masks are leased from here for the span of one evaluation and
+        # recycled (zeroed on hand-out) instead of re-allocated per step.
+        self._scratch = ScratchBuffers()
         self.stats = {
             "base_hits": 0,
             "halo_evals": 0,
@@ -1537,29 +1636,33 @@ class IncrementalEvaluator:
         if graph.delta.is_empty:
             self.stats["base_hits"] += 1
             return state["out"].copy()
-        dirty, halo, ctx = self._plan.prepare(self.model, graph)
-        if (
-            getattr(self._plan, "oversize_fallback", True)
-            and halo.shape[0] > self.max_halo_frac * graph.num_nodes
-        ):
-            # Too much of the graph is dirty for row slicing to pay off.
-            # Plans with a state-reusing dense path (GAT) still evaluate
-            # from the per-model-version cache — the satellite bugfix:
-            # attention state is cached-and-invalidated once per version
-            # even on the dense path, never recomputed per step.
-            dense = getattr(self._plan, "dense_from_state", None)
-            if dense is not None:
-                self.stats["state_fulls"] += 1
-                return dense(self.model, graph, state, dirty, ctx)
-            # Otherwise patch the full propagation matrices into the
-            # graph's cache (cheaper than a rebuild) and run dense.
-            install_propagation_caches(graph, self._plan.matrix_keys)
-            logits = self._full_logits(graph)
-            for key in getattr(self._plan, "drop_after_dense", ()):
-                graph.cache.pop(key, None)
-            return logits
-        self.stats["halo_evals"] += 1
-        return self._plan.logits(self.model, graph, state, dirty, halo, ctx)
+        with _scratch_session(self._scratch):
+            dirty, halo, ctx = self._plan.prepare(self.model, graph)
+            if (
+                getattr(self._plan, "oversize_fallback", True)
+                and halo.shape[0] > self.max_halo_frac * graph.num_nodes
+            ):
+                # Too much of the graph is dirty for row slicing to pay
+                # off.  Plans with a state-reusing dense path (GAT) still
+                # evaluate from the per-model-version cache — the
+                # satellite bugfix: attention state is
+                # cached-and-invalidated once per version even on the
+                # dense path, never recomputed per step.
+                dense = getattr(self._plan, "dense_from_state", None)
+                if dense is not None:
+                    self.stats["state_fulls"] += 1
+                    return dense(self.model, graph, state, dirty, ctx)
+                # Otherwise patch the full propagation matrices into the
+                # graph's cache (cheaper than a rebuild) and run dense.
+                install_propagation_caches(graph, self._plan.matrix_keys)
+                logits = self._full_logits(graph)
+                for key in getattr(self._plan, "drop_after_dense", ()):
+                    graph.cache.pop(key, None)
+                return logits
+            self.stats["halo_evals"] += 1
+            return self._plan.logits(
+                self.model, graph, state, dirty, halo, ctx
+            )
 
     def evaluate(
         self, graph: Graph, mask: np.ndarray, return_logits: bool = False

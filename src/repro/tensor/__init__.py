@@ -1,7 +1,30 @@
-"""Autograd substrate for the GraphRARE reproduction (replaces PyTorch)."""
+"""Autograd substrate for the GraphRARE reproduction (replaces PyTorch).
 
-from . import ops
+Three layers (see ``docs/architecture.md``):
+
+* :mod:`repro.tensor.backends` — pluggable kernel backends (numpy
+  reference, optional numba acceleration) selected per run;
+* :class:`Function` — the public custom-op API every op registers
+  through (see ``docs/custom-ops.md``);
+* :mod:`repro.tensor.ops` — the op surface, thin wrappers over private
+  ``Function`` subclasses.
+"""
+
+from . import backends, ops
+from .backends import active_backend, resolve_backend, use_backend
+from .function import Function
 from .grad_check import gradcheck, numerical_gradient
 from .tensor import Tensor, unbroadcast
 
-__all__ = ["Tensor", "ops", "gradcheck", "numerical_gradient", "unbroadcast"]
+__all__ = [
+    "Function",
+    "Tensor",
+    "active_backend",
+    "backends",
+    "gradcheck",
+    "numerical_gradient",
+    "ops",
+    "resolve_backend",
+    "unbroadcast",
+    "use_backend",
+]

@@ -1,0 +1,342 @@
+"""Pluggable tensor-kernel backends for the autograd substrate.
+
+Every engine in the repository — the GNN backbones, the incremental halo
+evaluator, the entropy screening kernels — ultimately bottoms out in a
+small set of hot array kernels: CSR sparse-dense products, segment
+softmax/sum over edge lists, and the tiled JS/KL divergence cores.  This
+package makes that kernel surface *pluggable*:
+
+* :class:`TensorBackend` names the kernel contract;
+* :class:`~repro.tensor.backends.numpy_backend.NumpyBackend` is the
+  byte-identical reference (the exact float sequences the repository's
+  equivalence contracts are written against);
+* ``"accel"`` is an optional numba-JIT backend
+  (:mod:`repro.tensor.backends.accel`) that fuses the hot loops — it is
+  *allclose*-equivalent to the reference (accumulation orders may
+  differ), never byte-identical, and degrades gracefully to numpy when
+  numba is not installed.
+
+Selection is scoped, not global-mutable-by-accident: the active backend
+defaults to numpy and is switched per run via :func:`use_backend` (what
+``RareConfig.tensor_backend`` / ``--tensor-backend`` plumb through) or
+process-wide via :func:`set_active_backend`.  ``"auto"`` selects the
+accelerated backend when numba imports and silently keeps the reference
+otherwise; requesting ``"accel"`` explicitly without numba falls back
+with a :class:`BackendUnavailableWarning`.
+
+Ops fetch kernels through :func:`active_backend` at call time, so a
+custom :class:`repro.tensor.Function` written today runs on any backend
+registered tomorrow (see ``docs/custom-ops.md`` for the contract).
+"""
+
+from __future__ import annotations
+
+import warnings
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "BackendMismatchError",
+    "BackendUnavailableWarning",
+    "TensorBackend",
+    "active_backend",
+    "available_backends",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "set_active_backend",
+    "use_backend",
+]
+
+
+class BackendUnavailableWarning(UserWarning):
+    """An explicitly requested backend is unavailable; the reference is used."""
+
+
+class BackendMismatchError(TypeError):
+    """Tensors pinned to different backends met in one operation.
+
+    Mixing backends inside one op would silently compute half the graph
+    with one kernel set and half with another — the equivalence story
+    (numpy bitwise, accel allclose) becomes unfalsifiable.  The fix is to
+    keep one backend per computation: either stop pinning one of the
+    operands (``backend=None`` follows the active backend) or convert
+    explicitly by constructing a new ``Tensor`` under the target backend.
+    """
+
+
+class TensorBackend:
+    """The kernel contract every backend implements.
+
+    A backend is a *stateless* bundle of array kernels over plain numpy
+    data — tensors always store ``numpy.ndarray`` payloads; backends only
+    decide *how* the hot kernels compute.  The base class implements every
+    kernel with the reference numpy/scipy sequence, so an accelerated
+    backend overrides only the kernels it actually fuses and inherits the
+    reference for the rest.
+
+    Kernel semantics (shapes, zero-segment conventions, accumulation
+    identities) are pinned by the reference implementations in
+    :class:`~repro.tensor.backends.numpy_backend.NumpyBackend`; an
+    override must be ``np.allclose``-equivalent on every input the
+    equivalence suite generates (``tests/tensor/test_backends.py``).
+    Only the numpy backend is *byte*-identical to the historical
+    single-implementation ops — contracts that say "bitwise" hold under
+    it alone.
+    """
+
+    #: Registry name; set by subclasses.
+    name: str = "abstract"
+
+    #: Whether the backend's kernels match the reference bitwise (True
+    #: only for the numpy reference itself).
+    bit_exact: bool = False
+
+    # -- sparse-dense products -----------------------------------------
+    def spmm(self, matrix: sp.spmatrix, dense: np.ndarray) -> np.ndarray:
+        """``matrix @ dense`` for a scipy sparse matrix and a dense array."""
+        return np.asarray(matrix @ dense)
+
+    # -- segment reductions over edge lists ----------------------------
+    def segment_softmax(
+        self, data: np.ndarray, segment_ids: np.ndarray, num_segments: int
+    ) -> np.ndarray:
+        """Per-segment softmax with per-segment max subtraction.
+
+        ``data`` has shape ``(E,)`` or ``(E, H)``; entries sharing a
+        segment id are normalised together.  Per segment the accumulation
+        order equals the order in which entries appear in ``data``.
+        """
+        data = np.asarray(data)
+        segment_ids = np.asarray(segment_ids, dtype=np.int64)
+        seg_max = np.full((num_segments,) + data.shape[1:], -np.inf)
+        np.maximum.at(seg_max, segment_ids, data)
+        shifted = data - seg_max[segment_ids]
+        e = np.exp(shifted)
+        denom = np.zeros((num_segments,) + data.shape[1:])
+        np.add.at(denom, segment_ids, e)
+        return e / denom[segment_ids]
+
+    def segment_sum(
+        self, data: np.ndarray, segment_ids: np.ndarray, num_segments: int
+    ) -> np.ndarray:
+        """``out[i] = sum_{j: segment_ids[j] = i} data[j]`` in entry order."""
+        data = np.asarray(data)
+        segment_ids = np.asarray(segment_ids, dtype=np.int64)
+        out = np.zeros((num_segments,) + data.shape[1:])
+        np.add.at(out, segment_ids, data)
+        return out
+
+    # -- dense linear algebra ------------------------------------------
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Dense GEMM (already BLAS under numpy; rarely overridden)."""
+        return a @ b
+
+    # -- tiled divergence cores (the entropy engines' GEMM-shaped loops)
+    def js_divergence_block(self, P: np.ndarray, Q: np.ndarray) -> np.ndarray:
+        """Pairwise Jensen-Shannon divergence block ``(B, N)``."""
+        P3 = P[:, None, :]
+        Q3 = Q[None, :, :]
+        m = 0.5 * (P3 + Q3)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            kl_pm = np.where(P3 > 0, P3 * np.log2(P3 / m), 0.0).sum(axis=-1)
+            kl_qm = np.where(Q3 > 0, Q3 * np.log2(Q3 / m), 0.0).sum(axis=-1)
+        return 0.5 * (kl_pm + kl_qm)
+
+    def kl_divergence_block(
+        self, P: np.ndarray, Q: np.ndarray, eps: float = 1e-12
+    ) -> np.ndarray:
+        """Pairwise raw KL ``KL(P_i || Q_j)`` block ``(B, N)``."""
+        P3 = P[:, None, :]
+        Q3 = np.maximum(Q[None, :, :], eps)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(P3 > 0, P3 * np.log2(P3 / Q3), 0.0).sum(axis=-1)
+
+    def symmetric_kl_divergence_block(
+        self, P: np.ndarray, Q: np.ndarray, eps: float = 1e-12
+    ) -> np.ndarray:
+        """Symmetrised KL block via the folded ``(p - q)(Lp - Lq)`` form."""
+        diff = P[:, None, :] - Q[None, :, :]
+        logs = np.log2(np.maximum(P, eps))[:, None, :] - np.log2(
+            np.maximum(Q, eps)
+        )[None, :, :]
+        logs *= diff
+        return 0.5 * logs.sum(axis=-1)
+
+    def __repr__(self) -> str:
+        return f"<TensorBackend {self.name!r}>"
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+#: name -> zero-arg factory.  Factories run once; instances are memoised.
+_FACTORIES: Dict[str, Callable[[], TensorBackend]] = {}
+_INSTANCES: Dict[str, TensorBackend] = {}
+#: name -> import error message for backends that failed to load.
+_UNAVAILABLE: Dict[str, str] = {}
+
+
+def register_backend(name: str, factory: Callable[[], TensorBackend]) -> None:
+    """Register a backend factory under ``name``.
+
+    The factory is called lazily on first :func:`get_backend` and may
+    raise ``ImportError`` — the backend is then recorded as unavailable
+    (visible in :func:`backend_names` with ``available=False``) instead
+    of poisoning imports, which is what keeps the accelerated backend
+    optional.
+    """
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+    _UNAVAILABLE.pop(name, None)
+
+
+def get_backend(name: str) -> TensorBackend:
+    """The backend instance registered under ``name``.
+
+    Raises ``KeyError`` for unknown names and ``ImportError`` when the
+    backend's dependencies are missing (callers wanting a soft fallback
+    use :func:`resolve_backend`).
+    """
+    if name in _INSTANCES:
+        return _INSTANCES[name]
+    if name in _UNAVAILABLE:
+        raise ImportError(_UNAVAILABLE[name])
+    if name not in _FACTORIES:
+        raise KeyError(
+            f"unknown tensor backend {name!r}; registered: {sorted(_FACTORIES)}"
+        )
+    try:
+        instance = _FACTORIES[name]()
+    except ImportError as exc:
+        _UNAVAILABLE[name] = (
+            f"tensor backend {name!r} is unavailable: {exc}"
+        )
+        raise ImportError(_UNAVAILABLE[name]) from exc
+    _INSTANCES[name] = instance
+    return instance
+
+
+def backend_names() -> List[str]:
+    """Names of every registered backend (available or not)."""
+    return sorted(_FACTORIES)
+
+
+def available_backends() -> List[str]:
+    """Names of the backends whose dependencies import on this machine."""
+    out = []
+    for name in backend_names():
+        try:
+            get_backend(name)
+        except ImportError:
+            continue
+        out.append(name)
+    return out
+
+
+def resolve_backend(
+    spec: Union[str, TensorBackend, None]
+) -> TensorBackend:
+    """Resolve a config-level backend spec to a backend instance.
+
+    * ``None`` or ``"numpy"`` — the byte-identical reference;
+    * ``"accel"`` — the numba backend, falling back to numpy with a
+      :class:`BackendUnavailableWarning` when numba is missing (an
+      explicit request deserves a visible downgrade);
+    * ``"auto"`` — the accelerated backend when available, silently the
+      reference otherwise;
+    * a :class:`TensorBackend` instance — itself.
+
+    Examples
+    --------
+    >>> resolve_backend("auto").name in ("numpy", "accel")
+    True
+    """
+    if spec is None:
+        return get_backend("numpy")
+    if isinstance(spec, TensorBackend):
+        return spec
+    if spec == "auto":
+        try:
+            return get_backend("accel")
+        except ImportError:
+            return get_backend("numpy")
+    if spec == "accel":
+        try:
+            return get_backend("accel")
+        except ImportError as exc:
+            warnings.warn(
+                f"{exc}; falling back to the numpy reference backend",
+                BackendUnavailableWarning,
+                stacklevel=2,
+            )
+            return get_backend("numpy")
+    return get_backend(spec)
+
+
+# ---------------------------------------------------------------------------
+# Active-backend state
+# ---------------------------------------------------------------------------
+_ACTIVE: Optional[TensorBackend] = None
+
+
+def active_backend() -> TensorBackend:
+    """The backend ops fetch kernels from right now (default: numpy)."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = get_backend("numpy")
+    return _ACTIVE
+
+
+def set_active_backend(spec: Union[str, TensorBackend, None]) -> TensorBackend:
+    """Switch the process-wide active backend; returns the instance.
+
+    Prefer the scoped :func:`use_backend` in library code — the driver
+    uses it so one run's backend choice never leaks into the next.
+    """
+    global _ACTIVE
+    _ACTIVE = resolve_backend(spec)
+    return _ACTIVE
+
+
+@contextmanager
+def use_backend(
+    spec: Union[str, TensorBackend, None]
+) -> Iterator[TensorBackend]:
+    """Scoped backend selection: restores the previous backend on exit.
+
+    Examples
+    --------
+    >>> with use_backend("auto") as backend:
+    ...     logits = model.predict_logits(graph)   # kernels via `backend`
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = resolve_backend(spec)
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+# ---------------------------------------------------------------------------
+# Built-in registrations (lazy; accel may be unavailable)
+# ---------------------------------------------------------------------------
+def _numpy_factory() -> TensorBackend:
+    from .numpy_backend import NumpyBackend
+
+    return NumpyBackend()
+
+
+def _accel_factory() -> TensorBackend:
+    from .accel import AccelBackend
+
+    return AccelBackend()
+
+
+register_backend("numpy", _numpy_factory)
+register_backend("accel", _accel_factory)

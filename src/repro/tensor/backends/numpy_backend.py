@@ -1,0 +1,28 @@
+"""The byte-identical numpy reference backend.
+
+Every kernel here IS the historical single implementation from
+``repro.tensor.ops`` / ``repro.entropy.structural_entropy`` — the exact
+float sequences the repository's bitwise equivalence contracts
+(``docs/equivalence-policy.md``) are written against.  The implementations
+live on the :class:`~repro.tensor.backends.TensorBackend` base class so
+other backends can inherit any kernel they do not fuse; this subclass
+only names and flags the reference.
+"""
+
+from __future__ import annotations
+
+from . import TensorBackend
+
+
+class NumpyBackend(TensorBackend):
+    """Reference backend: pure numpy/scipy, bitwise-stable kernels.
+
+    ``bit_exact`` is True — this is the only backend whose outputs are
+    byte-identical to the pre-refactor single-implementation ops, and
+    therefore the only backend under which "bitwise" contracts (the
+    incremental engine's off-halo guarantee, the screening engine's
+    certified pruning) are exact rather than allclose.
+    """
+
+    name = "numpy"
+    bit_exact = True

@@ -1,8 +1,19 @@
 """Functional operations on :class:`repro.tensor.Tensor`.
 
-Each function builds the result tensor and wires a backward closure that
-pushes gradients to its inputs.  Constant (non-``Tensor``) operands are
-accepted wherever a scalar or array makes sense.
+Every op here is a thin public wrapper over a private
+:class:`repro.tensor.Function` subclass — the Function is the *single*
+mechanism by which an operation registers into the autograd graph (one
+instance per call, ``forward``/``backward`` overrides), and the wrapper
+preserves the historical call signature.  Constant (non-``Tensor``)
+operands are accepted wherever a scalar or array makes sense.
+
+Hot kernels (sparse products, segment reductions, dense GEMM) are
+fetched through the call's resolved backend (``self.backend`` inside a
+Function; see :mod:`repro.tensor.backends`), so the same op runs on the
+byte-identical numpy reference or the numba-accelerated kernels without
+any call-site change.  A handful of ops (``sqrt``, ``mean``, ``min``,
+``var``, ``std``) remain compositions of the primitives and therefore
+ride the same machinery.
 """
 
 from __future__ import annotations
@@ -12,6 +23,8 @@ from typing import Optional, Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from .backends import active_backend
+from .function import Function
 from .tensor import Tensor, unbroadcast
 
 
@@ -22,48 +35,84 @@ def _t(x) -> Tensor:
 # ---------------------------------------------------------------------------
 # Elementwise binary ops
 # ---------------------------------------------------------------------------
+class _Add(Function):
+    def forward(self, a, b):
+        self._shapes = (a.shape, b.shape)
+        return a + b
+
+    def backward(self, grad):
+        sa, sb = self._shapes
+        return unbroadcast(grad, sa), unbroadcast(grad, sb)
+
+
 def add(a: Tensor, b: Tensor) -> Tensor:
-    a, b = _t(a), _t(b)
-    out_data = a.data + b.data
+    """Elementwise ``a + b`` with numpy broadcasting."""
+    return _Add()(a, b)
 
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(unbroadcast(grad, a.shape))
-        b._accumulate(unbroadcast(grad, b.shape))
 
-    return Tensor._make(out_data, (a, b), backward)
+class _Sub(Function):
+    def forward(self, a, b):
+        self._shapes = (a.shape, b.shape)
+        return a - b
+
+    def backward(self, grad):
+        sa, sb = self._shapes
+        return unbroadcast(grad, sa), unbroadcast(-grad, sb)
 
 
 def sub(a: Tensor, b: Tensor) -> Tensor:
-    a, b = _t(a), _t(b)
-    out_data = a.data - b.data
+    """Elementwise ``a - b`` with numpy broadcasting."""
+    return _Sub()(a, b)
 
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(unbroadcast(grad, a.shape))
-        b._accumulate(unbroadcast(-grad, b.shape))
 
-    return Tensor._make(out_data, (a, b), backward)
+class _Mul(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a, b)
+        return a * b
+
+    def backward(self, grad):
+        a, b = self.saved_for_backward
+        return (
+            unbroadcast(grad * b, a.shape),
+            unbroadcast(grad * a, b.shape),
+        )
 
 
 def mul(a: Tensor, b: Tensor) -> Tensor:
-    a, b = _t(a), _t(b)
-    out_data = a.data * b.data
+    """Elementwise ``a * b`` with numpy broadcasting."""
+    return _Mul()(a, b)
 
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(unbroadcast(grad * b.data, a.shape))
-        b._accumulate(unbroadcast(grad * a.data, b.shape))
 
-    return Tensor._make(out_data, (a, b), backward)
+class _Div(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a, b)
+        return a / b
+
+    def backward(self, grad):
+        a, b = self.saved_for_backward
+        return (
+            unbroadcast(grad / b, a.shape),
+            unbroadcast(-grad * a / (b**2), b.shape),
+        )
 
 
 def div(a: Tensor, b: Tensor) -> Tensor:
-    a, b = _t(a), _t(b)
-    out_data = a.data / b.data
+    """Elementwise ``a / b`` with numpy broadcasting."""
+    return _Div()(a, b)
 
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(unbroadcast(grad / b.data, a.shape))
-        b._accumulate(unbroadcast(-grad * a.data / (b.data**2), b.shape))
 
-    return Tensor._make(out_data, (a, b), backward)
+class _Minimum(Function):
+    def forward(self, a, b):
+        self._shapes = (a.shape, b.shape)
+        self._take_a = a <= b
+        return np.where(self._take_a, a, b)
+
+    def backward(self, grad):
+        sa, sb = self._shapes
+        return (
+            unbroadcast(grad * self._take_a, sa),
+            unbroadcast(grad * ~self._take_a, sb),
+        )
 
 
 def minimum(a: Tensor, b: Tensor) -> Tensor:
@@ -71,173 +120,248 @@ def minimum(a: Tensor, b: Tensor) -> Tensor:
 
     Ties route the gradient to ``a`` (consistent with a sub-gradient choice).
     """
-    a, b = _t(a), _t(b)
-    take_a = a.data <= b.data
-    out_data = np.where(take_a, a.data, b.data)
+    return _Minimum()(a, b)
 
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(unbroadcast(grad * take_a, a.shape))
-        b._accumulate(unbroadcast(grad * ~take_a, b.shape))
 
-    return Tensor._make(out_data, (a, b), backward)
+class _Maximum(Function):
+    def forward(self, a, b):
+        self._shapes = (a.shape, b.shape)
+        self._take_a = a >= b
+        return np.where(self._take_a, a, b)
+
+    def backward(self, grad):
+        sa, sb = self._shapes
+        return (
+            unbroadcast(grad * self._take_a, sa),
+            unbroadcast(grad * ~self._take_a, sb),
+        )
 
 
 def maximum(a: Tensor, b: Tensor) -> Tensor:
     """Elementwise maximum; ties route the gradient to ``a``."""
-    a, b = _t(a), _t(b)
-    take_a = a.data >= b.data
-    out_data = np.where(take_a, a.data, b.data)
-
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(unbroadcast(grad * take_a, a.shape))
-        b._accumulate(unbroadcast(grad * ~take_a, b.shape))
-
-    return Tensor._make(out_data, (a, b), backward)
+    return _Maximum()(a, b)
 
 
 # ---------------------------------------------------------------------------
 # Elementwise unary ops
 # ---------------------------------------------------------------------------
+class _Neg(Function):
+    def forward(self, a):
+        return -a
+
+    def backward(self, grad):
+        return -grad
+
+
 def neg(a: Tensor) -> Tensor:
-    a = _t(a)
-
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(-grad)
-
-    return Tensor._make(-a.data, (a,), backward)
+    """Elementwise negation."""
+    return _Neg()(a)
 
 
-def pow(a: Tensor, exponent: float) -> Tensor:
-    a = _t(a)
-    out_data = a.data**exponent
+class _Pow(Function):
+    def __init__(self, exponent: float) -> None:
+        self._exponent = exponent
 
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(grad * exponent * a.data ** (exponent - 1))
+    def forward(self, a):
+        self.save_for_backward(a)
+        return a**self._exponent
 
-    return Tensor._make(out_data, (a,), backward)
+    def backward(self, grad):
+        (a,) = self.saved_for_backward
+        return grad * self._exponent * a ** (self._exponent - 1)
+
+
+def pow(a: Tensor, exponent: float) -> Tensor:  # noqa: A001
+    """Elementwise power with a constant exponent."""
+    return _Pow(exponent)(a)
+
+
+class _Exp(Function):
+    def forward(self, a):
+        out = np.exp(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved_for_backward
+        return grad * out
 
 
 def exp(a: Tensor) -> Tensor:
-    a = _t(a)
-    out_data = np.exp(a.data)
+    """Elementwise ``e**a``."""
+    return _Exp()(a)
 
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(grad * out_data)
 
-    return Tensor._make(out_data, (a,), backward)
+class _Log(Function):
+    def forward(self, a):
+        self.save_for_backward(a)
+        return np.log(a)
+
+    def backward(self, grad):
+        (a,) = self.saved_for_backward
+        return grad / a
 
 
 def log(a: Tensor) -> Tensor:
-    a = _t(a)
-    out_data = np.log(a.data)
-
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(grad / a.data)
-
-    return Tensor._make(out_data, (a,), backward)
+    """Elementwise natural logarithm."""
+    return _Log()(a)
 
 
 def sqrt(a: Tensor) -> Tensor:
+    """Elementwise square root (as ``a ** 0.5``)."""
     return pow(a, 0.5)
 
 
+class _Abs(Function):
+    def forward(self, a):
+        self._sign = np.sign(a)
+        return np.abs(a)
+
+    def backward(self, grad):
+        return grad * self._sign
+
+
 def abs(a: Tensor) -> Tensor:  # noqa: A001 - mirrors numpy naming
-    a = _t(a)
-    sign = np.sign(a.data)
+    """Elementwise absolute value (zero gradient at 0)."""
+    return _Abs()(a)
 
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(grad * sign)
 
-    return Tensor._make(np.abs(a.data), (a,), backward)
+class _Clamp(Function):
+    def __init__(self, lo: Optional[float], hi: Optional[float]) -> None:
+        self._lo = lo
+        self._hi = hi
+
+    def forward(self, a):
+        out = np.clip(a, self._lo, self._hi)
+        passthrough = np.ones_like(a)
+        if self._lo is not None:
+            passthrough = passthrough * (a >= self._lo)
+        if self._hi is not None:
+            passthrough = passthrough * (a <= self._hi)
+        self._passthrough = passthrough
+        return out
+
+    def backward(self, grad):
+        return grad * self._passthrough
 
 
 def clamp(a: Tensor, lo: Optional[float] = None, hi: Optional[float] = None) -> Tensor:
     """Clamp values to ``[lo, hi]``; the gradient is zero where clipped."""
-    a = _t(a)
-    out_data = np.clip(a.data, lo, hi)
-    passthrough = np.ones_like(a.data)
-    if lo is not None:
-        passthrough = passthrough * (a.data >= lo)
-    if hi is not None:
-        passthrough = passthrough * (a.data <= hi)
+    return _Clamp(lo, hi)(a)
 
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(grad * passthrough)
 
-    return Tensor._make(out_data, (a,), backward)
+class _Relu(Function):
+    def forward(self, a):
+        self._mask = a > 0
+        return a * self._mask
+
+    def backward(self, grad):
+        return grad * self._mask
 
 
 def relu(a: Tensor) -> Tensor:
-    a = _t(a)
-    mask = a.data > 0
+    """Rectified linear unit."""
+    return _Relu()(a)
 
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(grad * mask)
 
-    return Tensor._make(a.data * mask, (a,), backward)
+class _LeakyRelu(Function):
+    def __init__(self, negative_slope: float) -> None:
+        self._slope = negative_slope
+
+    def forward(self, a):
+        self._scale = np.where(a > 0, 1.0, self._slope)
+        return a * self._scale
+
+    def backward(self, grad):
+        return grad * self._scale
 
 
 def leaky_relu(a: Tensor, negative_slope: float = 0.2) -> Tensor:
-    a = _t(a)
-    scale = np.where(a.data > 0, 1.0, negative_slope)
+    """Leaky ReLU with the given negative-side slope."""
+    return _LeakyRelu(negative_slope)(a)
 
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(grad * scale)
 
-    return Tensor._make(a.data * scale, (a,), backward)
+class _Elu(Function):
+    def __init__(self, alpha: float) -> None:
+        self._alpha = alpha
+
+    def forward(self, a):
+        pos = a > 0
+        neg_part = self._alpha * (np.exp(np.minimum(a, 0.0)) - 1.0)
+        self._pos = pos
+        self._neg_part = neg_part
+        return np.where(pos, a, neg_part)
+
+    def backward(self, grad):
+        return grad * np.where(self._pos, 1.0, self._neg_part + self._alpha)
 
 
 def elu(a: Tensor, alpha: float = 1.0) -> Tensor:
-    a = _t(a)
-    pos = a.data > 0
-    neg_part = alpha * (np.exp(np.minimum(a.data, 0.0)) - 1.0)
-    out_data = np.where(pos, a.data, neg_part)
+    """Exponential linear unit."""
+    return _Elu(alpha)(a)
 
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(grad * np.where(pos, 1.0, neg_part + alpha))
 
-    return Tensor._make(out_data, (a,), backward)
+class _Tanh(Function):
+    def forward(self, a):
+        out = np.tanh(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved_for_backward
+        return grad * (1.0 - out**2)
 
 
 def tanh(a: Tensor) -> Tensor:
-    a = _t(a)
-    out_data = np.tanh(a.data)
+    """Elementwise hyperbolic tangent."""
+    return _Tanh()(a)
 
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(grad * (1.0 - out_data**2))
 
-    return Tensor._make(out_data, (a,), backward)
+class _Sigmoid(Function):
+    def forward(self, a):
+        out = 1.0 / (1.0 + np.exp(-a))
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved_for_backward
+        return grad * out * (1.0 - out)
 
 
 def sigmoid(a: Tensor) -> Tensor:
-    a = _t(a)
-    out_data = 1.0 / (1.0 + np.exp(-a.data))
-
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(grad * out_data * (1.0 - out_data))
-
-    return Tensor._make(out_data, (a,), backward)
+    """Elementwise logistic sigmoid."""
+    return _Sigmoid()(a)
 
 
 # ---------------------------------------------------------------------------
 # Reductions and shape ops
 # ---------------------------------------------------------------------------
-def sum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
-    a = _t(a)
-    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+class _Sum(Function):
+    def __init__(self, axis, keepdims: bool) -> None:
+        self._axis = axis
+        self._keepdims = keepdims
 
-    def backward(grad: np.ndarray) -> None:
+    def forward(self, a):
+        self._shape = a.shape
+        return a.sum(axis=self._axis, keepdims=self._keepdims)
+
+    def backward(self, grad):
         g = grad
-        if axis is not None and not keepdims:
-            axes = axis if isinstance(axis, tuple) else (axis,)
-            for ax in sorted(ax % a.ndim for ax in axes):
+        ndim = len(self._shape)
+        if self._axis is not None and not self._keepdims:
+            axes = self._axis if isinstance(self._axis, tuple) else (self._axis,)
+            for ax in sorted(ax % ndim for ax in axes):
                 g = np.expand_dims(g, ax)
-        a._accumulate(np.broadcast_to(g, a.shape).copy())
+        return np.broadcast_to(g, self._shape).copy()
 
-    return Tensor._make(out_data, (a,), backward)
+
+def sum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Sum reduction over ``axis`` (all axes when ``None``)."""
+    return _Sum(axis, keepdims)(a)
 
 
 def mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    """Mean reduction (composed from :func:`sum`)."""
     a = _t(a)
     if axis is None:
         count = a.size
@@ -247,64 +371,109 @@ def mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
     return sum(a, axis=axis, keepdims=keepdims) * (1.0 / count)
 
 
+class _Reshape(Function):
+    def __init__(self, shape: tuple) -> None:
+        self._target = shape
+
+    def forward(self, a):
+        self._shape = a.shape
+        return a.reshape(self._target)
+
+    def backward(self, grad):
+        return grad.reshape(self._shape)
+
+
 def reshape(a: Tensor, shape: tuple) -> Tensor:
-    a = _t(a)
-    old_shape = a.shape
+    """Reshape to ``shape`` (a view-compatible adjoint reshape on backward)."""
+    return _Reshape(shape)(a)
 
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(grad.reshape(old_shape))
 
-    return Tensor._make(a.data.reshape(shape), (a,), backward)
+class _Transpose(Function):
+    def forward(self, a):
+        return a.T
+
+    def backward(self, grad):
+        return grad.T
 
 
 def transpose(a: Tensor) -> Tensor:
-    a = _t(a)
+    """Matrix transpose (``a.T``)."""
+    return _Transpose()(a)
 
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(grad.T)
 
-    return Tensor._make(a.data.T, (a,), backward)
+class _Concat(Function):
+    def __init__(self, axis: int) -> None:
+        self._axis = axis
+
+    def forward(self, *arrays):
+        sizes = [arr.shape[self._axis] for arr in arrays]
+        self._offsets = np.cumsum([0] + sizes)
+        return np.concatenate(arrays, axis=self._axis)
+
+    def backward(self, grad):
+        grads = []
+        offsets = self._offsets
+        for start, stop in zip(offsets[:-1], offsets[1:]):
+            index = [slice(None)] * grad.ndim
+            index[self._axis] = slice(start, stop)
+            grads.append(grad[tuple(index)])
+        return tuple(grads)
 
 
 def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
-    tensors = [_t(t) for t in tensors]
-    out_data = np.concatenate([t.data for t in tensors], axis=axis)
-    sizes = [t.shape[axis] for t in tensors]
-    offsets = np.cumsum([0] + sizes)
+    """Concatenate tensors along ``axis``."""
+    return _Concat(axis)(*tensors)
 
-    def backward(grad: np.ndarray) -> None:
-        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
-            index = [slice(None)] * grad.ndim
-            index[axis] = slice(start, stop)
-            t._accumulate(grad[tuple(index)])
 
-    return Tensor._make(out_data, tensors, backward)
+class _Stack(Function):
+    def __init__(self, axis: int) -> None:
+        self._axis = axis
+
+    def forward(self, *arrays):
+        return np.stack(arrays, axis=self._axis)
+
+    def backward(self, grad):
+        return tuple(np.moveaxis(grad, self._axis, 0))
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
-    tensors = [_t(t) for t in tensors]
-    out_data = np.stack([t.data for t in tensors], axis=axis)
-
-    def backward(grad: np.ndarray) -> None:
-        slabs = np.moveaxis(grad, axis, 0)
-        for t, slab in zip(tensors, slabs):
-            t._accumulate(slab)
-
-    return Tensor._make(out_data, tensors, backward)
+    """Stack tensors along a new ``axis``."""
+    return _Stack(axis)(*tensors)
 
 
 # ---------------------------------------------------------------------------
 # Linear algebra
 # ---------------------------------------------------------------------------
+class _Matmul(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a, b)
+        return self.backend.matmul(a, b)
+
+    def backward(self, grad):
+        a, b = self.saved_for_backward
+        return (
+            self.backend.matmul(grad, b.T),
+            self.backend.matmul(a.T, grad),
+        )
+
+
 def matmul(a: Tensor, b: Tensor) -> Tensor:
-    a, b = _t(a), _t(b)
-    out_data = a.data @ b.data
+    """Dense matrix product ``a @ b``."""
+    return _Matmul()(a, b)
 
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(grad @ b.data.T)
-        b._accumulate(a.data.T @ grad)
 
-    return Tensor._make(out_data, (a, b), backward)
+class _Spmm(Function):
+    def __init__(self, matrix: sp.spmatrix) -> None:
+        self._matrix = matrix.tocsr()
+        self._transposed: Optional[sp.spmatrix] = None
+
+    def forward(self, x):
+        return self.backend.spmm(self._matrix, x)
+
+    def backward(self, grad):
+        if self._transposed is None:
+            self._transposed = self._matrix.T.tocsr()
+        return self.backend.spmm(self._transposed, grad)
 
 
 def spmm(matrix: sp.spmatrix, x: Tensor) -> Tensor:
@@ -316,17 +485,22 @@ def spmm(matrix: sp.spmatrix, x: Tensor) -> Tensor:
     first backward call and memoised for the call's lifetime — eval-mode
     forwards (the reward evaluations dominating the RL loop) never build it.
     """
-    x = _t(x)
-    matrix = matrix.tocsr()
-    out_data = np.asarray(matrix @ x.data)
-    transposed: list = []
+    return _Spmm(matrix)(x)
 
-    def backward(grad: np.ndarray) -> None:
-        if not transposed:
-            transposed.append(matrix.T.tocsr())
-        x._accumulate(np.asarray(transposed[0] @ grad))
 
-    return Tensor._make(out_data, (x,), backward)
+class _SpmmRows(Function):
+    def __init__(self, matrix: sp.spmatrix, rows: np.ndarray) -> None:
+        rows = np.asarray(rows, dtype=np.int64)
+        self._sub = matrix.tocsr()[rows]
+        self._transposed: Optional[sp.spmatrix] = None
+
+    def forward(self, x):
+        return self.backend.spmm(self._sub, x)
+
+    def backward(self, grad):
+        if self._transposed is None:
+            self._transposed = self._sub.T.tocsr()
+        return self.backend.spmm(self._transposed, grad)
 
 
 def spmm_rows(matrix: sp.spmatrix, rows: np.ndarray, x: Tensor) -> Tensor:
@@ -343,18 +517,27 @@ def spmm_rows(matrix: sp.spmatrix, rows: np.ndarray, x: Tensor) -> Tensor:
     ``matrix[rows].T @ grad`` (the transpose again built lazily, only
     under backward).
     """
-    x = _t(x)
-    rows = np.asarray(rows, dtype=np.int64)
-    sub = matrix.tocsr()[rows]
-    out_data = np.asarray(sub @ x.data)
-    transposed: list = []
+    return _SpmmRows(matrix, rows)(x)
 
-    def backward(grad: np.ndarray) -> None:
-        if not transposed:
-            transposed.append(sub.T.tocsr())
-        x._accumulate(np.asarray(transposed[0] @ grad))
 
-    return Tensor._make(out_data, (x,), backward)
+class _ScatterPatchRows(Function):
+    def __init__(self, rows: np.ndarray) -> None:
+        self._rows = np.asarray(rows, dtype=np.int64)
+
+    def forward(self, base, patch):
+        if patch.shape[0] != self._rows.shape[0]:
+            raise ValueError(
+                f"patch has {patch.shape[0]} rows for "
+                f"{self._rows.shape[0]} indices"
+            )
+        out = base.copy()
+        out[self._rows] = patch
+        return out
+
+    def backward(self, grad):
+        masked = grad.copy()
+        masked[self._rows] = 0.0
+        return masked, grad[self._rows]
 
 
 def scatter_patch_rows(base: Tensor, rows: np.ndarray, patch: Tensor) -> Tensor:
@@ -366,56 +549,67 @@ def scatter_patch_rows(base: Tensor, rows: np.ndarray, patch: Tensor) -> Tensor:
     the select.  This is the patch-back step of the incremental evaluator:
     recomputed halo rows are scattered into the cached base activations.
     """
-    base, patch = _t(base), _t(patch)
-    rows = np.asarray(rows, dtype=np.int64)
-    if patch.shape[0] != rows.shape[0]:
-        raise ValueError(
-            f"patch has {patch.shape[0]} rows for {rows.shape[0]} indices"
-        )
-    out_data = base.data.copy()
-    out_data[rows] = patch.data
-
-    def backward(grad: np.ndarray) -> None:
-        masked = grad.copy()
-        masked[rows] = 0.0
-        base._accumulate(masked)
-        patch._accumulate(grad[rows])
-
-    return Tensor._make(out_data, (base, patch), backward)
+    return _ScatterPatchRows(rows)(base, patch)
 
 
 # ---------------------------------------------------------------------------
 # Indexing
 # ---------------------------------------------------------------------------
+class _GatherRows(Function):
+    def __init__(self, index: np.ndarray) -> None:
+        self._index = np.asarray(index, dtype=np.int64)
+
+    def forward(self, x):
+        self._shape = x.shape
+        return x[self._index]
+
+    def backward(self, grad):
+        buf = np.zeros(self._shape)
+        np.add.at(buf, self._index, grad)
+        return buf
+
+
 def gather_rows(x: Tensor, index: np.ndarray) -> Tensor:
     """Select rows ``x[index]``; duplicate indices are supported."""
-    x = _t(x)
-    index = np.asarray(index, dtype=np.int64)
-    out_data = x.data[index]
+    return _GatherRows(index)(x)
 
-    def backward(grad: np.ndarray) -> None:
-        buf = np.zeros_like(x.data)
-        np.add.at(buf, index, grad)
-        x._accumulate(buf)
 
-    return Tensor._make(out_data, (x,), backward)
+class _ScatterAddRows(Function):
+    def __init__(self, index: np.ndarray, num_rows: int) -> None:
+        self._index = np.asarray(index, dtype=np.int64)
+        self._num_rows = num_rows
+
+    def forward(self, src):
+        return self.backend.segment_sum(src, self._index, self._num_rows)
+
+    def backward(self, grad):
+        return grad[self._index]
 
 
 def scatter_add_rows(src: Tensor, index: np.ndarray, num_rows: int) -> Tensor:
     """Sum rows of ``src`` into ``num_rows`` buckets given by ``index``.
 
     The inverse of :func:`gather_rows`: ``out[i] = sum_{j: index[j]=i} src[j]``.
-    The forward values come from :func:`segment_sum_array`, the shared core
-    the incremental engine's gradient-free twin uses.
+    The forward values come from the active backend's ``segment_sum``
+    kernel (:func:`segment_sum_array` is the same kernel exposed for
+    gradient-free consumers), so the incremental engine's twin can never
+    drift from this op.
     """
-    src = _t(src)
-    index = np.asarray(index, dtype=np.int64)
-    out_data = segment_sum_array(src.data, index, num_rows)
+    return _ScatterAddRows(index, num_rows)(src)
 
-    def backward(grad: np.ndarray) -> None:
-        src._accumulate(grad[index])
 
-    return Tensor._make(out_data, (src,), backward)
+class _GatherCols(Function):
+    def __init__(self, index: np.ndarray) -> None:
+        self._index = index
+
+    def forward(self, x):
+        self._shape = x.shape
+        return x[:, self._index]
+
+    def backward(self, grad):
+        buf = np.zeros(self._shape)
+        np.add.at(buf.T, self._index, grad.T)
+        return buf
 
 
 def gather_cols(x: Tensor, index) -> Tensor:
@@ -429,43 +623,53 @@ def gather_cols(x: Tensor, index) -> Tensor:
     if isinstance(index, slice):
         index = np.arange(*index.indices(x.shape[1]))
     index = np.asarray(index, dtype=np.int64)
-    out_data = x.data[:, index]
-
-    def backward(grad: np.ndarray) -> None:
-        buf = np.zeros_like(x.data)
-        np.add.at(buf.T, index, grad.T)
-        x._accumulate(buf)
-
-    return Tensor._make(out_data, (x,), backward)
+    return _GatherCols(index)(x)
 
 
 # ---------------------------------------------------------------------------
 # Softmax family
 # ---------------------------------------------------------------------------
+class _LogSoftmax(Function):
+    def __init__(self, axis: int) -> None:
+        self._axis = axis
+
+    def forward(self, a):
+        shifted = a - a.max(axis=self._axis, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=self._axis, keepdims=True))
+        out = shifted - log_z
+        self.save_for_backward(np.exp(out))
+        return out
+
+    def backward(self, grad):
+        (softmax_data,) = self.saved_for_backward
+        return grad - softmax_data * grad.sum(axis=self._axis, keepdims=True)
+
+
 def log_softmax(a: Tensor, axis: int = -1) -> Tensor:
-    a = _t(a)
-    shifted = a.data - a.data.max(axis=axis, keepdims=True)
-    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    out_data = shifted - log_z
-    softmax_data = np.exp(out_data)
+    """Numerically stable ``log(softmax(a))`` along ``axis``."""
+    return _LogSoftmax(axis)(a)
 
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(grad - softmax_data * grad.sum(axis=axis, keepdims=True))
 
-    return Tensor._make(out_data, (a,), backward)
+class _Softmax(Function):
+    def __init__(self, axis: int) -> None:
+        self._axis = axis
+
+    def forward(self, a):
+        shifted = a - a.max(axis=self._axis, keepdims=True)
+        e = np.exp(shifted)
+        out = e / e.sum(axis=self._axis, keepdims=True)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved_for_backward
+        inner = (grad * out).sum(axis=self._axis, keepdims=True)
+        return out * (grad - inner)
 
 
 def softmax(a: Tensor, axis: int = -1) -> Tensor:
-    a = _t(a)
-    shifted = a.data - a.data.max(axis=axis, keepdims=True)
-    e = np.exp(shifted)
-    out_data = e / e.sum(axis=axis, keepdims=True)
-
-    def backward(grad: np.ndarray) -> None:
-        inner = (grad * out_data).sum(axis=axis, keepdims=True)
-        a._accumulate(out_data * (grad - inner))
-
-    return Tensor._make(out_data, (a,), backward)
+    """Softmax along ``axis``."""
+    return _Softmax(axis)(a)
 
 
 def segment_softmax_array(
@@ -475,24 +679,17 @@ def segment_softmax_array(
 
     Entries sharing a segment id are normalised together; the per-segment
     max is subtracted for numerical stability.  This is the exact float
-    sequence the Tensor op runs (the op delegates here), exposed for
-    gradient-free consumers: the incremental engine's halo-restricted
-    edge-softmax re-normalisation feeds it sub-edge lists gathered for the
-    dirty destination rows only, and relies on the two paths never
-    diverging.  Per segment the accumulation order equals the order in
-    which that segment's entries appear in ``data`` — gather sub-edges in
-    the full forward's per-destination order to reproduce its sums
-    bitwise.
+    sequence the Tensor op runs (both delegate to the active backend's
+    ``segment_softmax`` kernel), exposed for gradient-free consumers: the
+    incremental engine's halo-restricted edge-softmax re-normalisation
+    feeds it sub-edge lists gathered for the dirty destination rows only,
+    and relies on the two paths never diverging.  Per segment the
+    accumulation order equals the order in which that segment's entries
+    appear in ``data`` — gather sub-edges in the full forward's
+    per-destination order to reproduce its sums bitwise (a guarantee of
+    the numpy reference backend; the accelerated backend is allclose).
     """
-    data = np.asarray(data)
-    segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    seg_max = np.full((num_segments,) + data.shape[1:], -np.inf)
-    np.maximum.at(seg_max, segment_ids, data)
-    shifted = data - seg_max[segment_ids]
-    e = np.exp(shifted)
-    denom = np.zeros((num_segments,) + data.shape[1:])
-    np.add.at(denom, segment_ids, e)
-    return e / denom[segment_ids]
+    return active_backend().segment_softmax(data, segment_ids, num_segments)
 
 
 def segment_sum_array(
@@ -501,15 +698,33 @@ def segment_sum_array(
     """Plain-array segment sum — the float core of :func:`scatter_add_rows`.
 
     ``out[i] = sum_{j: segment_ids[j] = i} data[j]``, accumulated in the
-    order the entries appear in ``data`` (the :func:`numpy.add.at`
-    guarantee the incremental engine's bitwise off-halo contract builds
-    on).
+    order the entries appear in ``data`` (the entry-order guarantee the
+    incremental engine's bitwise off-halo contract builds on; exact under
+    the numpy reference backend).  Delegates to the active backend's
+    ``segment_sum`` kernel.
     """
-    data = np.asarray(data)
-    segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    out = np.zeros((num_segments,) + data.shape[1:])
-    np.add.at(out, segment_ids, data)
-    return out
+    return active_backend().segment_sum(data, segment_ids, num_segments)
+
+
+class _SegmentSoftmax(Function):
+    def __init__(self, segment_ids: np.ndarray, num_segments: int) -> None:
+        self._segment_ids = np.asarray(segment_ids, dtype=np.int64)
+        self._num_segments = num_segments
+
+    def forward(self, logits):
+        out = self.backend.segment_softmax(
+            logits, self._segment_ids, self._num_segments
+        )
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved_for_backward
+        weighted = grad * out
+        seg_sum = self.backend.segment_sum(
+            weighted, self._segment_ids, self._num_segments
+        )
+        return weighted - out * seg_sum[self._segment_ids]
 
 
 def segment_softmax(logits: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
@@ -518,26 +733,27 @@ def segment_softmax(logits: Tensor, segment_ids: np.ndarray, num_segments: int) 
     ``logits`` has shape ``(E,)`` or ``(E, H)``; entries sharing a segment id
     (destination node) are normalised together.  The per-segment max used for
     numerical stability is treated as a constant, which leaves the gradient
-    of the softmax unchanged.  The forward values come from
-    :func:`segment_softmax_array` so the gradient-free twin the incremental
-    engine uses can never drift from this op.
+    of the softmax unchanged.  The forward values come from the same backend
+    kernel as :func:`segment_softmax_array` so the gradient-free twin the
+    incremental engine uses can never drift from this op.
     """
-    logits = _t(logits)
-    segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    out_data = segment_softmax_array(logits.data, segment_ids, num_segments)
-
-    def backward(grad: np.ndarray) -> None:
-        weighted = grad * out_data
-        seg_sum = np.zeros((num_segments,) + logits.shape[1:])
-        np.add.at(seg_sum, segment_ids, weighted)
-        logits._accumulate(weighted - out_data * seg_sum[segment_ids])
-
-    return Tensor._make(out_data, (logits,), backward)
+    return _SegmentSoftmax(segment_ids, num_segments)(logits)
 
 
 # ---------------------------------------------------------------------------
 # Regularisation
 # ---------------------------------------------------------------------------
+class _Dropout(Function):
+    def __init__(self, mask: np.ndarray) -> None:
+        self._mask = mask
+
+    def forward(self, a):
+        return a * self._mask
+
+    def backward(self, grad):
+        return grad * self._mask
+
+
 def dropout(a: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
     """Inverted dropout: zero entries with probability ``p`` and rescale."""
     a = _t(a)
@@ -546,22 +762,24 @@ def dropout(a: Tensor, p: float, rng: np.random.Generator, training: bool = True
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
     mask = (rng.random(a.shape) >= p) / (1.0 - p)
-
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(grad * mask)
-
-    return Tensor._make(a.data * mask, (a,), backward)
+    return _Dropout(mask)(a)
 
 
-def max(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
-    """Max reduction; gradient flows to the (first) maximal entries."""
-    a = _t(a)
-    out_data = a.data.max(axis=axis, keepdims=keepdims)
+class _Max(Function):
+    def __init__(self, axis, keepdims: bool) -> None:
+        self._axis = axis
+        self._keepdims = keepdims
 
-    def backward(grad: np.ndarray) -> None:
+    def forward(self, a):
+        out = a.max(axis=self._axis, keepdims=self._keepdims)
+        self.save_for_backward(a, out)
+        return out
+
+    def backward(self, grad):
+        a, out = self.saved_for_backward
         g = grad
-        out = out_data
-        if axis is not None and not keepdims:
+        axis = self._axis
+        if axis is not None and not self._keepdims:
             axes = axis if isinstance(axis, tuple) else (axis,)
             for ax in sorted(ax % a.ndim for ax in axes):
                 g = np.expand_dims(g, ax)
@@ -569,14 +787,17 @@ def max(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
         elif axis is None:
             g = np.asarray(g).reshape((1,) * a.ndim)
             out = np.asarray(out).reshape((1,) * a.ndim)
-        mask = a.data == out
+        mask = a == out
         # Split gradient across ties to keep the adjoint consistent.
         counts = mask.sum(
             axis=axis if axis is not None else None, keepdims=True
         )
-        a._accumulate(np.broadcast_to(g, a.shape) * mask / counts)
+        return np.broadcast_to(g, a.shape) * mask / counts
 
-    return Tensor._make(out_data, (a,), backward)
+
+def max(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Max reduction; gradient flows to the (first) maximal entries."""
+    return _Max(axis, keepdims)(a)
 
 
 def min(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
@@ -597,38 +818,53 @@ def std(a: Tensor, axis=None, keepdims: bool = False, eps: float = 1e-12) -> Ten
     return sqrt(var(a, axis=axis, keepdims=keepdims) + eps)
 
 
+class _Log1p(Function):
+    def forward(self, a):
+        self.save_for_backward(a)
+        return np.log1p(a)
+
+    def backward(self, grad):
+        (a,) = self.saved_for_backward
+        return grad / (1.0 + a)
+
+
 def log1p(a: Tensor) -> Tensor:
     """``log(1 + a)`` computed stably."""
-    a = _t(a)
-    out_data = np.log1p(a.data)
+    return _Log1p()(a)
 
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(grad / (1.0 + a.data))
 
-    return Tensor._make(out_data, (a,), backward)
+class _Softplus(Function):
+    def forward(self, a):
+        out = np.logaddexp(0.0, a)
+        with np.errstate(over="ignore"):
+            self._sig = 1.0 / (1.0 + np.exp(-a))
+        return out
+
+    def backward(self, grad):
+        return grad * self._sig
 
 
 def softplus(a: Tensor) -> Tensor:
     """``log(1 + exp(a))`` with the overflow-safe formulation."""
-    a = _t(a)
-    out_data = np.logaddexp(0.0, a.data)
-    with np.errstate(over="ignore"):
-        sig = 1.0 / (1.0 + np.exp(-a.data))
+    return _Softplus()(a)
 
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(grad * sig)
 
-    return Tensor._make(out_data, (a,), backward)
+class _Where(Function):
+    def __init__(self, condition: np.ndarray) -> None:
+        self._condition = np.asarray(condition, dtype=bool)
+
+    def forward(self, a, b):
+        self._shapes = (a.shape, b.shape)
+        return np.where(self._condition, a, b)
+
+    def backward(self, grad):
+        sa, sb = self._shapes
+        return (
+            unbroadcast(grad * self._condition, sa),
+            unbroadcast(grad * ~self._condition, sb),
+        )
 
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     """Elementwise select by a constant boolean mask."""
-    a, b = _t(a), _t(b)
-    condition = np.asarray(condition, dtype=bool)
-    out_data = np.where(condition, a.data, b.data)
-
-    def backward(grad: np.ndarray) -> None:
-        a._accumulate(unbroadcast(grad * condition, a.shape))
-        b._accumulate(unbroadcast(grad * ~condition, b.shape))
-
-    return Tensor._make(out_data, (a, b), backward)
+    return _Where(condition)(a, b)

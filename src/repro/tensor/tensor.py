@@ -59,14 +59,34 @@ class Tensor:
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` during
         :meth:`backward`.
+    backend:
+        Optional backend pin (a name like ``"accel"`` or a
+        ``TensorBackend`` instance).  ``None`` — the default — means
+        "follow the process-active backend at each op call"
+        (:func:`repro.tensor.backends.active_backend`).  Ops reject
+        inputs pinned to *different* backends with a
+        ``BackendMismatchError``; a pinned tensor combined with unpinned
+        ones pins the result.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __slots__ = (
+        "data", "grad", "requires_grad", "backend", "_backward", "_parents"
+    )
 
-    def __init__(self, data: ArrayLike, requires_grad: bool = False) -> None:
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        backend=None,
+    ) -> None:
         self.data = _as_array(data)
         self.requires_grad = bool(requires_grad)
         self.grad: Optional[np.ndarray] = None
+        if backend is not None and not hasattr(backend, "spmm"):
+            from .backends import resolve_backend
+
+            backend = resolve_backend(backend)
+        self.backend = backend
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: tuple = ()
 
@@ -75,14 +95,17 @@ class Tensor:
     # ------------------------------------------------------------------
     @property
     def shape(self) -> tuple:
+        """Shape of the underlying array."""
         return self.data.shape
 
     @property
     def ndim(self) -> int:
+        """Number of array dimensions."""
         return self.data.ndim
 
     @property
     def size(self) -> int:
+        """Total number of elements."""
         return self.data.size
 
     def numpy(self) -> np.ndarray:
@@ -90,11 +113,12 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
+        """The single element of a scalar tensor, as a python float."""
         return float(self.data)
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        return Tensor(self.data, requires_grad=False, backend=self.backend)
 
     def __repr__(self) -> str:
         grad_flag = ", requires_grad=True" if self.requires_grad else ""
@@ -111,14 +135,21 @@ class Tensor:
         data: np.ndarray,
         parents: Iterable["Tensor"],
         backward: Callable[[np.ndarray], None],
+        backend=None,
     ) -> "Tensor":
         """Create a result tensor wired into the graph.
 
         ``backward`` receives the upstream gradient and is responsible for
         calling :meth:`_accumulate` on each parent that requires grad.
+        ``backend`` propagates an input pin to the result (``None`` keeps
+        the result following the active backend).
         """
         parents = tuple(parents)
-        out = Tensor(data, requires_grad=any(p.requires_grad for p in parents))
+        out = Tensor(
+            data,
+            requires_grad=any(p.requires_grad for p in parents),
+            backend=backend,
+        )
         if out.requires_grad:
             out._parents = parents
             out._backward = backward
@@ -133,6 +164,7 @@ class Tensor:
         self.grad += grad
 
     def zero_grad(self) -> None:
+        """Reset the accumulated gradient to ``None``."""
         self.grad = None
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
@@ -229,16 +261,19 @@ class Tensor:
 
     # Convenience methods mirroring the functional API ------------------
     def sum(self, axis=None, keepdims: bool = False):
+        """Alias for :func:`repro.tensor.ops.sum`."""
         from . import ops
 
         return ops.sum(self, axis=axis, keepdims=keepdims)
 
     def mean(self, axis=None, keepdims: bool = False):
+        """Alias for :func:`repro.tensor.ops.mean`."""
         from . import ops
 
         return ops.mean(self, axis=axis, keepdims=keepdims)
 
     def reshape(self, *shape):
+        """Alias for :func:`repro.tensor.ops.reshape` (shape may be splatted)."""
         from . import ops
 
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
@@ -246,10 +281,12 @@ class Tensor:
         return ops.reshape(self, shape)
 
     def transpose(self):
+        """Alias for :func:`repro.tensor.ops.transpose` (2-D only)."""
         from . import ops
 
         return ops.transpose(self)
 
     @property
     def T(self):
+        """Transposed view, like ``ndarray.T``."""
         return self.transpose()

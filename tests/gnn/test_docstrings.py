@@ -16,11 +16,13 @@ import repro.gnn.incremental as incremental
 REPO = Path(__file__).resolve().parents[2]
 
 
-def test_doclint_passes_on_gnn_package():
-    """The dependency-free pydocstyle equivalent reports zero problems."""
+def test_doclint_passes_on_gated_packages():
+    """The dependency-free pydocstyle equivalent reports zero problems
+    on every documentation-gated package (gnn + tensor)."""
     proc = subprocess.run(
         [sys.executable, str(REPO / "tools" / "doclint.py"),
-         str(REPO / "src" / "repro" / "gnn")],
+         str(REPO / "src" / "repro" / "gnn"),
+         str(REPO / "src" / "repro" / "tensor")],
         capture_output=True, text=True,
     )
     assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,165 @@
+"""Scratch-buffer reuse in the halo correction paths.
+
+The incremental evaluator leases boolean masks from a per-evaluator
+:class:`~repro.gnn.incremental.ScratchBuffers` pool instead of allocating
+``np.zeros`` on every plan call.  These tests pin the safety contract:
+reused buffers come back zeroed, nothing leaks across evaluations (results
+stay bitwise-equal to a fresh evaluator), and the pool is invisible when no
+session is active.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import clamp_state, rewire_graph
+from repro.datasets import planted_partition_graph
+from repro.entropy import RelativeEntropy, build_entropy_sequences
+from repro.gnn import IncrementalEvaluator, Trainer, build_backbone
+from repro.gnn.incremental import (
+    ScratchBuffers,
+    _ACTIVE_SCRATCH,
+    _bool_scratch,
+    _scratch_session,
+)
+from repro.graph import random_split
+
+N = 30
+
+BACKBONES = ("gcn", "graphsage", "h2gcn", "mixhop")
+
+
+@pytest.fixture(scope="module")
+def world():
+    graph = planted_partition_graph(
+        num_nodes=N, homophily=0.4, feature_signal=0.4, num_features=10, seed=1
+    )
+    entropy = RelativeEntropy.from_graph(graph, lam=1.0)
+    sequences = build_entropy_sequences(graph, entropy, max_candidates=6)
+    split = random_split(graph.labels, np.random.default_rng(1))
+    return graph, sequences, split
+
+
+def rewired(world, seed):
+    graph, seqs, _ = world
+    rng = np.random.default_rng(seed)
+    k, d = clamp_state(
+        rng.integers(0, 4, size=N), rng.integers(0, 4, size=N), graph, seqs, 6, 6
+    )
+    return rewire_graph(graph, seqs, k, d)
+
+
+# ---------------------------------------------------------------------------
+# Pool mechanics
+# ---------------------------------------------------------------------------
+def test_leased_masks_are_zeroed_and_distinct():
+    pool = ScratchBuffers()
+    a = pool.bool_mask(7)
+    b = pool.bool_mask(7)
+    assert a is not b
+    assert a.dtype == np.bool_ and a.shape == (7,)
+    assert not a.any() and not b.any()
+
+
+def test_release_recycles_buffers_zeroed():
+    pool = ScratchBuffers()
+    a = pool.bool_mask(5)
+    a[:] = True
+    pool.release_all()
+    again = pool.bool_mask(5)
+    assert again is a  # the same allocation came back...
+    assert not again.any()  # ...wiped clean
+
+
+def test_release_keys_by_length():
+    pool = ScratchBuffers()
+    short = pool.bool_mask(3)
+    long = pool.bool_mask(9)
+    pool.release_all()
+    assert pool.bool_mask(9) is long
+    assert pool.bool_mask(3) is short
+
+
+def test_bool_scratch_without_session_allocates_fresh():
+    assert _ACTIVE_SCRATCH is None
+    a = _bool_scratch(4)
+    b = _bool_scratch(4)
+    assert a is not b
+    assert not a.any()
+
+
+def test_scratch_session_restores_on_exception():
+    pool = ScratchBuffers()
+    with pytest.raises(RuntimeError):
+        with _scratch_session(pool):
+            leaked = _bool_scratch(6)
+            leaked[:] = True
+            raise RuntimeError("boom")
+    from repro.gnn import incremental
+
+    assert incremental._ACTIVE_SCRATCH is None
+    # The leased mask went back to the pool despite the exception.
+    assert pool.bool_mask(6) is leaked
+    assert not leaked.any()
+
+
+def test_sessions_nest_by_stacking():
+    outer, inner = ScratchBuffers(), ScratchBuffers()
+    with _scratch_session(outer):
+        a = _bool_scratch(4)
+        with _scratch_session(inner):
+            b = _bool_scratch(4)
+            assert b is not a
+        c = _bool_scratch(4)
+        assert c is not a  # `a` is still leased to the outer session
+    from repro.gnn import incremental
+
+    assert incremental._ACTIVE_SCRATCH is None
+
+
+# ---------------------------------------------------------------------------
+# No state leaks across evaluations
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("backbone", BACKBONES)
+def test_repeated_evaluations_match_fresh_evaluator(world, backbone):
+    """Reusing one evaluator (and therefore its scratch pool) across many
+    rewires is bitwise-equal to spinning up a fresh evaluator per call."""
+    graph, _, split = world
+    model = build_backbone(
+        backbone, graph.num_features, graph.num_classes,
+        hidden=12, rng=np.random.default_rng(5),
+    )
+    Trainer(model, lr=0.05).fit(graph, split, epochs=3, patience=3)
+
+    reused = IncrementalEvaluator(model, graph, max_halo_frac=1.0)
+    outs = [rewired(world, seed) for seed in range(4)]
+    # Interleave: same graph twice in a row, then a different one, then
+    # back — a stale mask bit from any earlier call would surface here.
+    order = [outs[0], outs[0], outs[1], outs[0], outs[2], outs[3], outs[1]]
+    for out in order:
+        hot = reused.predict_logits(out)
+        cold = IncrementalEvaluator(
+            model, graph, max_halo_frac=1.0
+        ).predict_logits(out)
+        np.testing.assert_array_equal(hot, cold)
+
+
+@pytest.mark.parametrize("backbone", BACKBONES)
+def test_oversize_fallback_does_not_poison_pool(world, backbone):
+    """An oversized-halo dense fallback (max_halo_frac=0) runs inside the
+    same scratch session; later halo evaluations stay exact."""
+    graph, _, split = world
+    model = build_backbone(
+        backbone, graph.num_features, graph.num_classes,
+        hidden=12, rng=np.random.default_rng(7),
+    )
+    Trainer(model, lr=0.05).fit(graph, split, epochs=2, patience=2)
+
+    strict = IncrementalEvaluator(model, graph, max_halo_frac=0.0)
+    out = rewired(world, 11)
+    strict.predict_logits(out)  # forced dense fallback
+    relaxed = IncrementalEvaluator(model, graph, max_halo_frac=1.0)
+    # Reuse the strict evaluator's pool for a halo evaluation.
+    strict.max_halo_frac = 1.0
+    np.testing.assert_array_equal(
+        strict.predict_logits(out), relaxed.predict_logits(out)
+    )

@@ -1,0 +1,287 @@
+"""The pluggable tensor-backend registry (``repro.tensor.backends``).
+
+Covers the registry mechanics (lazy factories, memoised instances,
+unavailable-backend bookkeeping), the resolution policy (``"accel"``
+warns and falls back without numba, ``"auto"`` stays silent), scoped
+activation, the mixed-backend rejection on pinned tensors, and — when
+numba is installed — the allclose equivalence of every accelerated
+kernel against the numpy reference.  The accel legs skip (not fail)
+on machines without numba.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import RareConfig
+from repro.tensor import Tensor, ops, use_backend
+from repro.tensor.backends import (
+    BackendMismatchError,
+    BackendUnavailableWarning,
+    TensorBackend,
+    active_backend,
+    available_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    set_active_backend,
+)
+
+ACCEL_AVAILABLE = "accel" in available_backends()
+needs_accel = pytest.mark.skipif(
+    not ACCEL_AVAILABLE, reason="numba is not installed"
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_active_backend():
+    """No test leaks a process-wide backend switch."""
+    before = active_backend()
+    yield
+    set_active_backend(before)
+
+
+# ---------------------------------------------------------------------------
+# Registry mechanics
+# ---------------------------------------------------------------------------
+def test_builtin_backends_are_registered():
+    assert {"numpy", "accel"} <= set(backend_names())
+    assert "numpy" in available_backends()
+
+
+def test_get_backend_memoises_instances():
+    assert get_backend("numpy") is get_backend("numpy")
+
+
+def test_unknown_backend_raises_keyerror():
+    with pytest.raises(KeyError, match="unknown tensor backend"):
+        get_backend("tpu")
+
+
+def test_numpy_backend_is_the_bit_exact_reference():
+    ref = get_backend("numpy")
+    assert ref.name == "numpy"
+    assert ref.bit_exact is True
+
+
+def test_failed_factory_is_recorded_as_unavailable():
+    def broken():
+        raise ImportError("no such dependency")
+
+    register_backend("broken", broken)
+    try:
+        with pytest.raises(ImportError, match="no such dependency"):
+            get_backend("broken")
+        # The failure is memoised, not retried into a different error.
+        with pytest.raises(ImportError, match="unavailable"):
+            get_backend("broken")
+        assert "broken" not in available_backends()
+        assert "broken" in backend_names()
+    finally:
+        from repro.tensor import backends as B
+
+        B._FACTORIES.pop("broken", None)
+        B._UNAVAILABLE.pop("broken", None)
+
+
+# ---------------------------------------------------------------------------
+# Resolution policy
+# ---------------------------------------------------------------------------
+def test_resolve_none_and_numpy_give_the_reference():
+    ref = get_backend("numpy")
+    assert resolve_backend(None) is ref
+    assert resolve_backend("numpy") is ref
+
+
+def test_resolve_accepts_backend_instances():
+    custom = TensorBackend()
+    assert resolve_backend(custom) is custom
+
+
+@pytest.mark.skipif(ACCEL_AVAILABLE, reason="numba installed; no fallback")
+def test_accel_request_without_numba_warns_and_falls_back():
+    with pytest.warns(BackendUnavailableWarning, match="accel"):
+        backend = resolve_backend("accel")
+    assert backend.name == "numpy"
+
+
+@needs_accel
+def test_accel_request_with_numba_resolves_silently():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert resolve_backend("accel").name == "accel"
+
+
+def test_auto_never_warns():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        backend = resolve_backend("auto")
+    assert backend.name == ("accel" if ACCEL_AVAILABLE else "numpy")
+
+
+def test_rareconfig_rejects_unknown_backend_spec():
+    with pytest.raises(ValueError, match="tensor_backend"):
+        RareConfig(tensor_backend="gpu")
+    assert RareConfig(tensor_backend="auto").tensor_backend == "auto"
+
+
+# ---------------------------------------------------------------------------
+# Activation scoping
+# ---------------------------------------------------------------------------
+def test_use_backend_is_scoped():
+    before = active_backend()
+    marker = TensorBackend()
+    with use_backend(marker) as active:
+        assert active is marker
+        assert active_backend() is marker
+    assert active_backend() is before
+
+
+def test_use_backend_restores_on_exception():
+    before = active_backend()
+    with pytest.raises(RuntimeError):
+        with use_backend(TensorBackend()):
+            raise RuntimeError("boom")
+    assert active_backend() is before
+
+
+def test_ops_fetch_kernels_from_the_active_backend():
+    class Spy(TensorBackend):
+        name = "spy"
+        calls = 0
+
+        def spmm(self, matrix, dense):
+            Spy.calls += 1
+            return super().spmm(matrix, dense)
+
+    a = sp.eye(3, format="csr")
+    with use_backend(Spy()):
+        ops.spmm(a, Tensor(np.ones((3, 2))))
+    assert Spy.calls == 1
+
+
+# ---------------------------------------------------------------------------
+# Pinned tensors and mixed-backend rejection
+# ---------------------------------------------------------------------------
+def test_tensor_accepts_backend_names():
+    t = Tensor(np.ones(3), backend="numpy")
+    assert t.backend is get_backend("numpy")
+
+
+def test_unpinned_tensors_follow_the_active_backend():
+    out = ops.add(Tensor(np.ones(3)), Tensor(np.ones(3)))
+    assert out.backend is None  # still follows whatever is active
+
+
+def test_pinned_backend_propagates_to_outputs():
+    pin = get_backend("numpy")
+    out = ops.add(Tensor(np.ones(3), backend=pin), Tensor(np.ones(3)))
+    assert out.backend is pin
+
+
+def test_mixed_pins_raise_backend_mismatch():
+    a = Tensor(np.ones(3), backend=get_backend("numpy"))
+    b = Tensor(np.ones(3), backend=TensorBackend())
+    with pytest.raises(BackendMismatchError, match="backend"):
+        ops.add(a, b)
+    # The error is a TypeError, so generic call sites handle it naturally.
+    assert issubclass(BackendMismatchError, TypeError)
+
+
+# ---------------------------------------------------------------------------
+# Kernel equivalence: accel vs the reference (skips without numba)
+# ---------------------------------------------------------------------------
+def _random_sparse(rng, n, m, density=0.2):
+    mat = sp.random(n, m, density=density, random_state=rng, format="csr")
+    mat.sum_duplicates()
+    return mat
+
+
+def _profiles(rng, n, m):
+    p = rng.random((n, m))
+    p[rng.random((n, m)) < 0.3] = 0.0  # exercise the 0 log 0 convention
+    totals = p.sum(axis=1, keepdims=True)
+    totals[totals == 0] = 1.0
+    return p / totals
+
+
+@needs_accel
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_accel_spmm_matches_reference(seed):
+    rng = np.random.default_rng(seed)
+    ref, acc = get_backend("numpy"), get_backend("accel")
+    mat = _random_sparse(rng, 40, 30)
+    dense = rng.normal(size=(30, 8))
+    np.testing.assert_allclose(
+        acc.spmm(mat, dense), ref.spmm(mat, dense), rtol=1e-12, atol=1e-12
+    )
+    vec = rng.normal(size=30)
+    np.testing.assert_allclose(
+        acc.spmm(mat, vec), ref.spmm(mat, vec), rtol=1e-12, atol=1e-12
+    )
+
+
+@needs_accel
+@pytest.mark.parametrize("shape", [(50,), (50, 4)])
+def test_accel_segment_kernels_match_reference(shape):
+    rng = np.random.default_rng(3)
+    ref, acc = get_backend("numpy"), get_backend("accel")
+    data = rng.normal(size=shape)
+    seg = np.sort(rng.integers(0, 12, size=shape[0]))
+    # num_segments > max(seg): empty segments must not divide by zero
+    # in softmax's denominator handling or leave garbage in sums.
+    for kernel in ("segment_softmax", "segment_sum"):
+        np.testing.assert_allclose(
+            getattr(acc, kernel)(data, seg, 14),
+            getattr(ref, kernel)(data, seg, 14),
+            rtol=1e-12, atol=1e-12,
+        )
+
+
+@needs_accel
+def test_accel_divergence_blocks_match_reference():
+    rng = np.random.default_rng(4)
+    ref, acc = get_backend("numpy"), get_backend("accel")
+    P, Q = _profiles(rng, 9, 7), _profiles(rng, 13, 7)
+    np.testing.assert_allclose(
+        acc.js_divergence_block(P, Q),
+        ref.js_divergence_block(P, Q), rtol=1e-10, atol=1e-12,
+    )
+    np.testing.assert_allclose(
+        acc.kl_divergence_block(P, Q),
+        ref.kl_divergence_block(P, Q), rtol=1e-10, atol=1e-12,
+    )
+    np.testing.assert_allclose(
+        acc.symmetric_kl_divergence_block(P, Q),
+        ref.symmetric_kl_divergence_block(P, Q), rtol=1e-10, atol=1e-12,
+    )
+
+
+@needs_accel
+def test_full_tensor_suite_semantics_under_accel():
+    """A miniature end-to-end pass (forward + backward through spmm and
+    segment softmax) stays allclose to the reference run."""
+    rng = np.random.default_rng(5)
+    mat = _random_sparse(rng, 12, 12, density=0.3)
+    x0 = rng.normal(size=(12, 5))
+    seg = np.repeat(np.arange(4), 3)
+
+    def run():
+        x = Tensor(x0.copy(), requires_grad=True)
+        h = ops.spmm(mat, x)
+        s = ops.segment_softmax(
+            ops.sum(h, axis=1), np.asarray(seg), 4
+        )
+        loss = ops.sum(s * s)
+        loss.backward()
+        return loss.data.copy(), x.grad.copy()
+
+    with use_backend("numpy"):
+        loss_ref, grad_ref = run()
+    with use_backend("accel"):
+        loss_acc, grad_acc = run()
+    np.testing.assert_allclose(loss_acc, loss_ref, rtol=1e-10, atol=1e-12)
+    np.testing.assert_allclose(grad_acc, grad_ref, rtol=1e-10, atol=1e-12)

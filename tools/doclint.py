@@ -2,7 +2,8 @@
 
 A dependency-free equivalent of ``pydocstyle``'s presence checks
 (D100-D103), used by CI and ``make doclint`` on the packages whose
-public API is documentation-gated (``src/repro/gnn`` today).  Rules:
+public API is documentation-gated (``src/repro/gnn`` and
+``src/repro/tensor`` today).  Rules:
 
 * every module needs a module docstring;
 * every public class (name not starting with ``_``) needs a docstring;
@@ -24,7 +25,7 @@ import sys
 from pathlib import Path
 
 #: Method names whose contract is documented once on the base class.
-INHERITED = {"forward"}
+INHERITED = {"forward", "backward"}
 
 
 def _has_doc(node: ast.AST) -> bool:
