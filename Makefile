@@ -1,6 +1,6 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test doclint bench-smoke bench-scaling bench-rollout bench-entropy bench-reward bench-halo bench-backend
+.PHONY: test doclint bench-smoke bench-scaling bench-rollout bench-entropy bench-reward bench-halo bench-backend bench-telemetry
 
 test:
 	$(PY) -m pytest -x -q
@@ -9,7 +9,7 @@ test:
 # symbol of repro.gnn must carry a docstring.  Mirrored in the tier-1
 # suite (tests/gnn/test_docstrings.py) and run as a CI step.
 doclint:
-	python tools/doclint.py src/repro/gnn src/repro/tensor
+	python tools/doclint.py src/repro/gnn src/repro/tensor src/repro/telemetry
 
 # Fast sanity run (< 90 s): the CSR scaling benchmark at small N (asserts
 # the >= 5x speedup contract) plus small-N passes of both incremental
@@ -21,6 +21,7 @@ bench-smoke:
 	$(PY) benchmarks/bench_incremental_reward.py --nodes 1500 --edits 2 --steps 6 --repeats 2
 	$(PY) benchmarks/bench_halo_backbones.py --nodes 1500 --edits 2 --steps 4 --repeats 2
 	$(PY) benchmarks/bench_backend_kernels.py --sizes 2000
+	$(PY) benchmarks/bench_telemetry_overhead.py --steps 32 --iterations 50000
 
 # Full trajectory including the 20k-node fast-path-only point.
 bench-scaling:
@@ -59,3 +60,9 @@ bench-halo:
 # and JSON lands in bench_results/.  Skips cleanly when numba is absent.
 bench-backend:
 	$(PY) benchmarks/bench_backend_kernels.py
+
+# Disabled-path telemetry cost (ns per span/count/observe), derived
+# per-step overhead asserted <= 2% of a measured RL step, plus the
+# informational enabled/disabled macro ratio; JSON into bench_results/.
+bench-telemetry:
+	$(PY) benchmarks/bench_telemetry_overhead.py

@@ -33,6 +33,7 @@ import scipy.sparse as sp
 import pytest
 
 from repro.bench import format_table, save_results
+from repro.telemetry import Telemetry, get_telemetry, use_telemetry
 from repro.tensor.backends import available_backends, get_backend
 
 #: The acceptance contract from the backend-registry issue.
@@ -105,6 +106,10 @@ def bench_one_size(n: int, seed: int = 0, repeats: int = 3) -> dict:
     out["softmax_speedup"] = (
         out["softmax_numpy_s"] / max(out["softmax_accel_s"], 1e-12)
     )
+    tel = get_telemetry()
+    for key, value in out.items():
+        if key.endswith("_s"):
+            tel.observe(f"bench.backend.{key}", value)
     return out
 
 
@@ -153,9 +158,14 @@ def check_contract(results) -> None:
 def test_backend_kernel_speedup():
     if not accel_available():
         pytest.skip("numba is not installed; accel backend unavailable")
-    results = run_scaling([TARGET_N])
+    tel = Telemetry(enabled=True)
+    with use_telemetry(tel):
+        results = run_scaling([TARGET_N])
     print_report(results)
-    save_results("backend_kernels", {str(r["n"]): r for r in results})
+    save_results(
+        "bench_backend_kernels", {str(r["n"]): r for r in results},
+        telemetry=tel,
+    )
     check_contract(results)
 
 
@@ -169,13 +179,25 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if not accel_available():
+        # Still leave an artifact: downstream tooling reading
+        # bench_results/ can tell "skipped on this machine" apart from
+        # "never ran".
+        path = save_results(
+            "bench_backend_kernels",
+            {"skipped": "numba is not installed; accel backend unavailable"},
+        )
         print("accel backend unavailable (numba is not installed); "
-              "nothing to measure — skipping")
+              f"nothing to measure — skip marker saved to {path}")
         return 0
 
-    results = run_scaling(args.sizes, seed=args.seed)
+    tel = Telemetry(enabled=True)
+    with use_telemetry(tel):
+        results = run_scaling(args.sizes, seed=args.seed)
     print_report(results)
-    path = save_results("backend_kernels", {str(r["n"]): r for r in results})
+    path = save_results(
+        "bench_backend_kernels", {str(r["n"]): r for r in results},
+        telemetry=tel,
+    )
     print(f"\nresults saved to {path}")
     check_contract(results)
     return 0

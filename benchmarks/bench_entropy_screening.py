@@ -48,6 +48,7 @@ from repro.entropy import (
     build_entropy_sequences,
 )
 from repro.entropy.sequence import _build_from_rows
+from repro.telemetry import Telemetry, use_telemetry
 
 #: The acceptance contract from the screening-engine issue.
 TARGET_SPEEDUP = 5.0
@@ -171,9 +172,14 @@ def check_contract(results) -> None:
 
 @pytest.mark.slow
 def test_entropy_screening_speedup():
-    results = run_scaling([TARGET_N])
+    tel = Telemetry(enabled=True)
+    with use_telemetry(tel):
+        results = run_scaling([TARGET_N])
     print_report(results)
-    save_results("entropy_screening", {str(r["n"]): r for r in results})
+    save_results(
+        "bench_entropy_screening", {str(r["n"]): r for r in results},
+        telemetry=tel,
+    )
     assert results[0]["positions_verified"] > 0
     check_contract(results)
 
@@ -189,9 +195,14 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
-    results = run_scaling(args.sizes, mc=args.mc, seed=args.seed)
+    tel = Telemetry(enabled=True)
+    with use_telemetry(tel):
+        results = run_scaling(args.sizes, mc=args.mc, seed=args.seed)
     print_report(results)
-    path = save_results("entropy_screening", {str(r["n"]): r for r in results})
+    path = save_results(
+        "bench_entropy_screening", {str(r["n"]): r for r in results},
+        telemetry=tel,
+    )
     print(f"\nresults saved to {path}")
     check_contract(results)
     return 0

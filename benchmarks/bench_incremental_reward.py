@@ -50,6 +50,7 @@ from repro.datasets import planted_partition_graph
 from repro.entropy import RelativeEntropy, build_entropy_sequences
 from repro.gnn import IncrementalEvaluator, Trainer, build_backbone, evaluate
 from repro.graph import random_split
+from repro.telemetry import Telemetry, use_telemetry
 
 #: The acceptance contract from the incremental-reward issue.
 TARGET_SPEEDUP = 4.0
@@ -200,10 +201,17 @@ def check_contract(results, num_nodes: int) -> None:
 @pytest.mark.slow
 def test_incremental_reward_contract():
     """Pytest wrapper (slow-marked): the N=5k contract holds."""
-    results = run_bench(
-        CONTRACT_NODES, [CONTRACT_EDITS], steps=20, repeats=4, seed=0
-    )
+    tel = Telemetry(enabled=True)
+    with use_telemetry(tel):
+        results = run_bench(
+            CONTRACT_NODES, [CONTRACT_EDITS], steps=20, repeats=4, seed=0
+        )
     print_report(results, CONTRACT_NODES)
+    save_results(
+        "bench_incremental_reward",
+        {"nodes": CONTRACT_NODES, "results": results},
+        telemetry=tel,
+    )
     check_contract(results, CONTRACT_NODES)
 
 
@@ -220,10 +228,12 @@ def main(argv=None) -> int:
                         help="skip the >= 4x contract check")
     args = parser.parse_args(argv)
 
-    results = run_bench(
-        args.nodes, args.edits, steps=args.steps, repeats=args.repeats,
-        seed=args.seed,
-    )
+    tel = Telemetry(enabled=True)
+    with use_telemetry(tel):
+        results = run_bench(
+            args.nodes, args.edits, steps=args.steps, repeats=args.repeats,
+            seed=args.seed,
+        )
     print_report(results, args.nodes)
     path = save_results(
         "bench_incremental_reward",
@@ -235,6 +245,7 @@ def main(argv=None) -> int:
             "contract_edits": CONTRACT_EDITS,
             "results": results,
         },
+        telemetry=tel,
     )
     print(f"\nresults saved to {path}")
     if not args.no_assert:

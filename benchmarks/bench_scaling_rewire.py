@@ -45,6 +45,7 @@ from repro.entropy import (
     degree_profiles,
     degree_profiles_reference,
 )
+from repro.telemetry import Telemetry, use_telemetry
 
 #: Largest N at which the seed's per-node loops are still worth waiting for.
 REFERENCE_CUTOFF = 5_000
@@ -176,9 +177,14 @@ def check_contract(results) -> None:
 
 @pytest.mark.slow
 def test_scaling_rewire_speedup():
-    results = run_scaling([1_000, TARGET_N], steps=5)
+    tel = Telemetry(enabled=True)
+    with use_telemetry(tel):
+        results = run_scaling([1_000, TARGET_N], steps=5)
     print_report(results)
-    save_results("scaling_rewire", {str(r["n"]): r for r in results})
+    save_results(
+        "bench_scaling_rewire", {str(r["n"]): r for r in results},
+        telemetry=tel,
+    )
     assert any(r["n"] == TARGET_N and "combined_speedup" in r for r in results)
     check_contract(results)
 
@@ -194,9 +200,14 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
-    results = run_scaling(args.sizes, steps=args.steps, seed=args.seed)
+    tel = Telemetry(enabled=True)
+    with use_telemetry(tel):
+        results = run_scaling(args.sizes, steps=args.steps, seed=args.seed)
     print_report(results)
-    path = save_results("scaling_rewire", {str(r["n"]): r for r in results})
+    path = save_results(
+        "bench_scaling_rewire", {str(r["n"]): r for r in results},
+        telemetry=tel,
+    )
     print(f"\nresults saved to {path}")
     check_contract(results)
     return 0

@@ -42,6 +42,7 @@ from repro.gnn import Trainer, build_backbone
 from repro.graph import random_split
 from repro.rl import PPO, NodePolicy
 from repro.rl.vector import VecTopologyEnv
+from repro.telemetry import Telemetry, use_telemetry
 
 #: The acceptance contract from the vectorized-rollout issue.
 TARGET_SPEEDUP = 3.0
@@ -142,8 +143,15 @@ def check_contract(results) -> None:
 @pytest.mark.slow
 def test_vec_rollout_contract():
     """Pytest wrapper (slow-marked): the B=16 contract holds."""
-    results = run_bench([TARGET_B], num_nodes=80, steps=8)
+    tel = Telemetry(enabled=True)
+    with use_telemetry(tel):
+        results = run_bench([TARGET_B], num_nodes=80, steps=8)
     print_report(results, 80)
+    save_results(
+        "bench_vec_rollout",
+        {"nodes": 80, "steps": 8, "results": results},
+        telemetry=tel,
+    )
     check_contract(results)
 
 
@@ -158,8 +166,10 @@ def main(argv=None) -> int:
                         help="skip the >= 3x contract check")
     args = parser.parse_args(argv)
 
-    results = run_bench(args.batches, num_nodes=args.nodes, steps=args.steps,
-                        seed=args.seed)
+    tel = Telemetry(enabled=True)
+    with use_telemetry(tel):
+        results = run_bench(args.batches, num_nodes=args.nodes,
+                            steps=args.steps, seed=args.seed)
     print_report(results, args.nodes)
     path = save_results(
         "bench_vec_rollout",
@@ -170,6 +180,7 @@ def main(argv=None) -> int:
             "target_batch": TARGET_B,
             "results": results,
         },
+        telemetry=tel,
     )
     print(f"\nresults saved to {path}")
     if not args.no_assert:

@@ -116,10 +116,29 @@ def paper_vs_measured_row(
     return [label, paper_cell, f"{measured:.1f}", note]
 
 
-def save_results(name: str, payload: dict) -> str:
-    """Persist a bench's results to ``bench_results/<name>.json``."""
+def save_results(name: str, payload: dict, telemetry=None) -> str:
+    """Persist a bench's results to ``bench_results/<name>.json``.
+
+    Every artifact is wrapped in a uniform envelope::
+
+        {"schema": "repro-bench/v2", "bench": <name>,
+         "telemetry": <counter/histogram snapshot or null>,
+         "results": <payload>}
+
+    ``telemetry`` may be a :class:`repro.telemetry.Telemetry` session (its
+    :meth:`~repro.telemetry.Telemetry.snapshot` is embedded) or an
+    already-built snapshot dict, so each contract bench ships the metric
+    state it ran under next to its numbers.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.json")
+    snapshot = telemetry.snapshot() if hasattr(telemetry, "snapshot") else telemetry
+    envelope = {
+        "schema": "repro-bench/v2",
+        "bench": name,
+        "telemetry": snapshot,
+        "results": payload,
+    }
     with open(path, "w") as f:
-        json.dump(payload, f, indent=2, default=float)
+        json.dump(envelope, f, indent=2, default=float)
     return path

@@ -1,14 +1,19 @@
 """Command-line interface for the GraphRARE reproduction.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro info    --dataset cornell [--scale 0.6]
     python -m repro run     --dataset cornell --backbone gcn [options]
     python -m repro rewire  --dataset cornell --k 2 --d 1 [--out graph.npz]
+    python -m repro stats   run.jsonl
 
 ``info`` prints dataset statistics, ``run`` executes the full GraphRARE
 pipeline and reports backbone-vs-RARE accuracy, ``rewire`` performs a
-static entropy-guided rewiring and optionally saves the result.
+static entropy-guided rewiring and optionally saves the result, and
+``stats`` validates a telemetry JSONL stream and renders its run report.
+``run`` and ``rewire`` accept ``--telemetry[=PATH]`` to record spans and
+metrics (in memory, or streamed to ``PATH``; see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -23,6 +28,12 @@ from .core import GraphRARE, RareConfig, analyze_rewiring, rewire_graph
 from .datasets import dataset_names, load_dataset
 from .entropy import RelativeEntropy, build_entropy_sequences
 from .graph import degree_statistics, geom_gcn_splits, homophily_ratio, save_graph
+from .telemetry import (
+    report_from_events,
+    telemetry_from_spec,
+    use_telemetry,
+    validate_lines,
+)
 from .tensor import use_backend
 
 
@@ -38,6 +49,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", type=float, default=0.1,
                        help="graph shrink factor (default 0.1)")
         p.add_argument("--seed", type=int, default=0)
+
+    def add_telemetry_arg(p):
+        p.add_argument("--telemetry", nargs="?", const="on", default=None,
+                       metavar="PATH",
+                       help="record spans and metrics for the command: "
+                            "bare --telemetry keeps them in memory and "
+                            "prints the run report; --telemetry PATH "
+                            "additionally streams a JSONL event log "
+                            "(render it later with 'repro stats PATH')")
 
     def add_entropy_engine_args(p):
         p.add_argument("--screening", default="auto",
@@ -87,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "evaluation (default 0.5)")
     run.add_argument("--splits", type=int, default=1)
     add_entropy_engine_args(run)
+    add_telemetry_arg(run)
 
     rewire = sub.add_parser("rewire", help="static entropy-guided rewiring")
     add_dataset_args(rewire)
@@ -95,6 +116,13 @@ def build_parser() -> argparse.ArgumentParser:
     rewire.add_argument("--lam", type=float, default=1.0)
     rewire.add_argument("--out", default=None, help="save rewired graph (.npz)")
     add_entropy_engine_args(rewire)
+    add_telemetry_arg(rewire)
+
+    stats = sub.add_parser(
+        "stats", help="validate and render a telemetry JSONL stream"
+    )
+    stats.add_argument("path", help="telemetry event log written by "
+                                    "--telemetry PATH")
     return parser
 
 
@@ -112,9 +140,24 @@ def cmd_info(args) -> int:
     return 0
 
 
+def _finish_telemetry(tel) -> None:
+    """Close a CLI telemetry session and print its report/destination."""
+    tel.close()
+    if tel.enabled:
+        print()
+        print(tel.report())
+        if tel.jsonl_path:
+            print(f"\ntelemetry event log: {tel.jsonl_path}")
+
+
 def cmd_run(args) -> int:
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     splits = geom_gcn_splits(graph, num_splits=args.splits, seed=args.seed)
+    tel = telemetry_from_spec(
+        args.telemetry,
+        run={"command": "run", "dataset": args.dataset,
+             "backbone": args.backbone},
+    )
     config = RareConfig(
         lam=args.lam,
         k_max=args.k_max,
@@ -132,47 +175,80 @@ def cmd_run(args) -> int:
         seed=args.seed,
     )
     base_accs, rare_accs, gains = [], [], []
-    for i, split in enumerate(splits):
-        result = GraphRARE(args.backbone, config).fit(graph, split)
-        base_accs.append(result.baseline_test_acc)
-        rare_accs.append(result.test_acc)
-        gains.append(result.optimized_homophily - result.original_homophily)
-        print(
-            f"split {i}: {args.backbone} {100 * result.baseline_test_acc:.1f}% "
-            f"-> {args.backbone}-RARE {100 * result.test_acc:.1f}% "
-            f"(dH {gains[-1]:+.3f})"
-        )
+    with use_telemetry(tel):
+        for i, split in enumerate(splits):
+            result = GraphRARE(args.backbone, config).fit(graph, split)
+            base_accs.append(result.baseline_test_acc)
+            rare_accs.append(result.test_acc)
+            gains.append(
+                result.optimized_homophily - result.original_homophily
+            )
+            print(
+                f"split {i}: {args.backbone} "
+                f"{100 * result.baseline_test_acc:.1f}% "
+                f"-> {args.backbone}-RARE {100 * result.test_acc:.1f}% "
+                f"(dH {gains[-1]:+.3f})"
+            )
     print(
         f"\nmean over {len(splits)} split(s): "
         f"{args.backbone} {100 * np.mean(base_accs):.1f}% vs "
         f"{args.backbone}-RARE {100 * np.mean(rare_accs):.1f}% "
         f"({100 * (np.mean(rare_accs) - np.mean(base_accs)):+.1f} points)"
     )
+    _finish_telemetry(tel)
     return 0
 
 
 def cmd_rewire(args) -> int:
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    with use_backend(args.tensor_backend):
-        entropy = RelativeEntropy.from_graph(graph, lam=args.lam)
-        sequences = build_entropy_sequences(
-            graph, entropy, max_candidates=max(8, args.k),
-            screening=args.screening, num_workers=args.num_workers,
-        )
-    n = graph.num_nodes
-    k = np.minimum(args.k, (sequences.remote >= 0).sum(axis=1))
-    d = np.minimum(args.d, graph.degrees())
-    rewired = rewire_graph(graph, sequences, k, d)
+    tel = telemetry_from_spec(
+        args.telemetry, run={"command": "rewire", "dataset": args.dataset}
+    )
+    with use_telemetry(tel):
+        with use_backend(args.tensor_backend):
+            with tel.span("rewire.entropy"):
+                entropy = RelativeEntropy.from_graph(graph, lam=args.lam)
+                sequences = build_entropy_sequences(
+                    graph, entropy, max_candidates=max(8, args.k),
+                    screening=args.screening, num_workers=args.num_workers,
+                )
+        k = np.minimum(args.k, (sequences.remote >= 0).sum(axis=1))
+        d = np.minimum(args.d, graph.degrees())
+        with tel.span("rewire.apply"):
+            rewired = rewire_graph(graph, sequences, k, d)
     print(analyze_rewiring(graph, rewired).summary())
     if args.out:
         path = save_graph(rewired, args.out)
         print(f"saved optimised graph to {path}")
+    _finish_telemetry(tel)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Validate a telemetry JSONL stream and print its run report."""
+    try:
+        with open(args.path) as fh:
+            lines = fh.read().splitlines()
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    events, errors = validate_lines(lines)
+    if errors:
+        for err in errors:
+            print(f"schema error: {err}", file=sys.stderr)
+        return 1
+    print(report_from_events(events))
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"info": cmd_info, "run": cmd_run, "rewire": cmd_rewire}
+    handlers = {
+        "info": cmd_info,
+        "run": cmd_run,
+        "rewire": cmd_rewire,
+        "stats": cmd_stats,
+    }
     return handlers[args.command](args)
 
 

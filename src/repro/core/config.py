@@ -110,6 +110,17 @@ class RareConfig:
     have ``ceil(episodes / num_envs)`` entries)."""
 
     # --- execution substrate -------------------------------------------
+    telemetry: str | None = None
+    """Observability session for the run (:mod:`repro.telemetry`).
+    ``None`` (default) keeps telemetry fully off — every instrumentation
+    point is a single attribute check and no state is recorded.  ``"on"``
+    (or ``"memory"``) records spans and metrics in memory, available
+    afterwards through the session's ``report()``/``snapshot()``.  Any
+    other string is a path: the run additionally streams a JSONL event
+    log there (schema in ``docs/observability.md``; render it with
+    ``repro stats <path>``).  When the caller already entered a session
+    via :func:`repro.telemetry.use_telemetry`, that ambient session wins
+    and this field is ignored."""
     tensor_backend: str = "numpy"
     """Kernel backend for the tensor substrate
     (:mod:`repro.tensor.backends`): ``"numpy"`` (default) is the
@@ -146,6 +157,13 @@ class RareConfig:
         if not 0.0 <= self.max_halo_frac <= 1.0:
             raise ValueError(
                 f"max_halo_frac must be in [0, 1], got {self.max_halo_frac}"
+            )
+        if self.telemetry is not None and (
+            not isinstance(self.telemetry, str) or not self.telemetry
+        ):
+            raise ValueError(
+                "telemetry must be None, 'on'/'memory', 'off' or a JSONL "
+                f"path string, got {self.telemetry!r}"
             )
         if self.tensor_backend not in ("numpy", "accel", "auto"):
             raise ValueError(

@@ -27,6 +27,7 @@ from ..gnn import GNNBackbone, IncrementalEvaluator, Trainer, evaluate
 from ..graph import Graph, Split, homophily_ratio
 from ..nn import macro_auc
 from ..rl import Env, MultiDiscreteSpace
+from ..telemetry import Counter, StatsView, get_telemetry
 from .config import RareConfig
 from .rewire import clamp_state, rewire_graph
 
@@ -184,8 +185,17 @@ class TopologyEnv(Env):
         self.history: list[Dict[str, float]] = []
         self._steps_total = 0
         self._rewire_cache: "OrderedDict[bytes, Graph]" = OrderedDict()
-        self._rewire_hits = 0
-        self._rewire_misses = 0
+        # Memo accounting lives in telemetry counters: per-env private
+        # instances (exact per-instance numbers, zero global state) that
+        # ``_memo_count`` mirrors into the active session's shared
+        # ``env.rewire_memo.*`` aggregates.  ``_rewire_hits`` and
+        # ``_rewire_misses`` stay available as read-only properties.
+        self._tel = get_telemetry()
+        self._memo_counters = {
+            key: Counter(f"env.rewire_memo.{key}")
+            for key in ("hits", "misses", "evictions")
+        }
+        self.rewire_memo_stats = StatsView(self._memo_counters)
         # Optional incremental reward engine: delta-patched propagation
         # matrices + halo-restricted forwards against cached base logits,
         # for every backbone with a registered halo plan (GCN, GraphSAGE,
@@ -207,11 +217,28 @@ class TopologyEnv(Env):
         self.reset()
 
     # ------------------------------------------------------------------
+    def _memo_count(self, key: str) -> None:
+        """Bump a rewire-memo counter and mirror it into the session."""
+        self._memo_counters[key].inc()
+        self._tel.count(f"env.rewire_memo.{key}")
+
+    @property
+    def _rewire_hits(self) -> int:
+        """Back-compat integer view of the memo hit counter."""
+        return self._memo_counters["hits"].value
+
+    @property
+    def _rewire_misses(self) -> int:
+        """Back-compat integer view of the memo miss counter."""
+        return self._memo_counters["misses"].value
+
     def _metrics(self, graph: Graph) -> Tuple[float, float]:
         """Eval-mode (score, loss) on the training nodes (Alg. 1 line 9)."""
-        return reward_metrics(
-            self.model, graph, self.split.train, self.config.reward, self._inc
-        )
+        with self._tel.span("env.reward", hist="rl.reward_s"):
+            return reward_metrics(
+                self.model, graph, self.split.train, self.config.reward,
+                self._inc,
+            )
 
     def _observation(self) -> np.ndarray:
         return fill_observation(
@@ -287,24 +314,31 @@ class TopologyEnv(Env):
         key = k.tobytes() + d.tobytes()
         graph = self._rewire_cache.get(key)
         if graph is None:
-            self._rewire_misses += 1
-            graph = rewire_graph(
-                self.base_graph,
-                self.sequences,
-                k,
-                d,
-                add_edges=self.config.add_edges,
-                remove_edges=self.config.remove_edges,
-            )
+            self._memo_count("misses")
+            with self._tel.span("env.rewire", hist="rl.rewire_s"):
+                graph = rewire_graph(
+                    self.base_graph,
+                    self.sequences,
+                    k,
+                    d,
+                    add_edges=self.config.add_edges,
+                    remove_edges=self.config.remove_edges,
+                )
             while len(self._rewire_cache) >= self.REWIRE_CACHE_LIMIT:
                 self._rewire_cache.popitem(last=False)
+                self._memo_count("evictions")
             self._rewire_cache[key] = graph
         else:
-            self._rewire_hits += 1
+            self._memo_count("hits")
             self._rewire_cache.move_to_end(key)
         return graph
 
     def step(self, action: np.ndarray) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
+        with self._tel.span("env.step", hist="rl.step_s"):
+            return self._step(action)
+
+    def _step(self, action: np.ndarray) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
+        """One MDP transition; the body of :meth:`step` under its span."""
         action = np.asarray(action, dtype=np.int64)
         n = self.base_graph.num_nodes
         if action.shape != (2 * n,):
@@ -332,12 +366,13 @@ class TopologyEnv(Env):
             self.best_acc = score
             self.best_graph = graph
             if self.co_train:
-                self.trainer.fit(
-                    graph,
-                    self.split,
-                    epochs=self.config.co_train_epochs,
-                    patience=self.config.co_train_patience,
-                )
+                with self._tel.span("env.co_train", hist="rl.cotrain_s"):
+                    self.trainer.fit(
+                        graph,
+                        self.split,
+                        epochs=self.config.co_train_epochs,
+                        patience=self.config.co_train_patience,
+                    )
                 if self._inc is not None:
                     # Co-training changed the weights: cached base-graph
                     # activations are stale.

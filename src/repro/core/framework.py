@@ -17,7 +17,9 @@ from ..entropy import EntropySequences, RelativeEntropy, build_entropy_sequences
 from ..gnn import GNNBackbone, Trainer, build_backbone, evaluate
 from ..graph import Graph, Split, homophily_ratio
 from ..rl import NodePolicy, build_agent
-from ..tensor import use_backend
+from ..telemetry import get_telemetry, telemetry_from_spec, use_telemetry
+from ..tensor import resolve_backend, use_backend
+from ..tensor.backends.instrument import InstrumentedBackend
 from .config import RareConfig
 from .env import OBS_DIM, TopologyEnv
 
@@ -65,28 +67,31 @@ class GraphRARE:
     def _prepare_sequences(
         self, graph: Graph, rng: np.random.Generator, shuffle: bool = False
     ) -> tuple:
-        """Entropy + sequence construction (Algorithm 1, lines 1-6)."""
-        import time
+        """Entropy + sequence construction (Algorithm 1, lines 1-6).
 
-        start = time.perf_counter()
-        entropy = RelativeEntropy.from_graph(
-            graph,
-            lam=self.config.lam,
-            embedding=self.config.embedding,
-            max_profile_len=self.config.max_profile_len,
-            rng=rng,
-            structural_mode=self.config.structural_mode,
-        )
-        sequences = build_entropy_sequences(
-            graph,
-            entropy,
-            max_candidates=self.config.max_candidates,
-            rng=rng,
-            shuffle=shuffle,
-            screening=self.config.screening,
-            num_workers=self.config.num_workers,
-        )
-        return sequences, time.perf_counter() - start
+        Timed through a telemetry span (``rare.entropy``) that measures
+        whether or not the session records — its duration is the
+        ``entropy_seconds`` reported on :class:`RareResult`.
+        """
+        with get_telemetry().timed_span("rare.entropy") as span:
+            entropy = RelativeEntropy.from_graph(
+                graph,
+                lam=self.config.lam,
+                embedding=self.config.embedding,
+                max_profile_len=self.config.max_profile_len,
+                rng=rng,
+                structural_mode=self.config.structural_mode,
+            )
+            sequences = build_entropy_sequences(
+                graph,
+                entropy,
+                max_candidates=self.config.max_candidates,
+                rng=rng,
+                shuffle=shuffle,
+                screening=self.config.screening,
+                num_workers=self.config.num_workers,
+            )
+        return sequences, span.duration
 
     def _build_model(self, graph: Graph, rng: np.random.Generator) -> GNNBackbone:
         return build_backbone(
@@ -115,11 +120,37 @@ class GraphRARE:
         ablation.  The whole run executes under the configured tensor
         backend (``RareConfig.tensor_backend``), scoped so concurrent or
         subsequent runs keep their own choice.
+
+        Observability: if a telemetry session is already ambient
+        (:func:`repro.telemetry.use_telemetry`) the run records into it;
+        otherwise ``RareConfig.telemetry`` may open one for the duration
+        of this call (closed — and its JSONL stream flushed — before
+        returning).  Under an enabled session the active tensor backend
+        is wrapped in an :class:`InstrumentedBackend`, so per-kernel call
+        counts and timings come for free; with telemetry off the backend
+        is used bare and no instrumentation runs.
         """
-        with use_backend(self.config.tensor_backend):
-            return self._fit(
-                graph, split, sequences, shuffle_sequences, train_baseline
+        tel = get_telemetry()
+        opened = False
+        if not tel.enabled and self.config.telemetry:
+            tel = telemetry_from_spec(
+                self.config.telemetry,
+                run=f"GraphRARE.fit[{self.backbone_name}]",
             )
+            opened = tel.enabled
+        backend = resolve_backend(self.config.tensor_backend)
+        if tel.enabled:
+            backend = InstrumentedBackend(backend, tel)
+        try:
+            with use_telemetry(tel), use_backend(backend):
+                with tel.span("rare.fit", backbone=self.backbone_name):
+                    return self._fit(
+                        graph, split, sequences, shuffle_sequences,
+                        train_baseline,
+                    )
+        finally:
+            if opened:
+                tel.close()
 
     def _fit(
         self,
@@ -138,16 +169,21 @@ class GraphRARE:
                 graph, rng, shuffle=shuffle_sequences
             )
 
+        tel = get_telemetry()
+
         # --- baseline: the untouched backbone on the original topology ---
         baseline_test_acc = float("nan")
         if train_baseline:
-            baseline_model = self._build_model(graph, rng)
-            baseline_trainer = Trainer(
-                baseline_model, lr=cfg.gnn_lr, weight_decay=cfg.gnn_weight_decay
-            )
-            baseline_test_acc = baseline_trainer.fit(
-                graph, split, epochs=cfg.final_epochs, patience=cfg.final_patience
-            ).test_acc
+            with tel.span("rare.baseline"):
+                baseline_model = self._build_model(graph, rng)
+                baseline_trainer = Trainer(
+                    baseline_model, lr=cfg.gnn_lr,
+                    weight_decay=cfg.gnn_weight_decay,
+                )
+                baseline_test_acc = baseline_trainer.fit(
+                    graph, split, epochs=cfg.final_epochs,
+                    patience=cfg.final_patience,
+                ).test_acc
 
         # --- co-training (Algorithm 1, lines 7-18) ------------------------
         model = self._build_model(graph, rng)
@@ -226,13 +262,17 @@ class GraphRARE:
         # A fresh model isolates the quality of the *topology*: the
         # co-trained network has passed through many intermediate graphs
         # and its optimiser state reflects them.
-        final_model = self._build_model(graph, np.random.default_rng(cfg.seed))
-        final_trainer = Trainer(
-            final_model, lr=cfg.gnn_lr, weight_decay=cfg.gnn_weight_decay
-        )
-        final = final_trainer.fit(
-            best_graph, split, epochs=cfg.final_epochs, patience=cfg.final_patience
-        )
+        with tel.span("rare.final"):
+            final_model = self._build_model(
+                graph, np.random.default_rng(cfg.seed)
+            )
+            final_trainer = Trainer(
+                final_model, lr=cfg.gnn_lr, weight_decay=cfg.gnn_weight_decay
+            )
+            final = final_trainer.fit(
+                best_graph, split, epochs=cfg.final_epochs,
+                patience=cfg.final_patience,
+            )
 
         return RareResult(
             test_acc=final.test_acc,

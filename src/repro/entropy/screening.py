@@ -49,6 +49,7 @@ import numpy as np
 from scipy.special import lambertw
 
 from ..graph import Graph
+from ..telemetry import SIZE_BUCKETS, Telemetry, get_telemetry, use_telemetry
 from .relative_entropy import RelativeEntropy
 
 #: ``build_entropy_sequences(screening="auto")`` turns the screen on at this
@@ -176,6 +177,32 @@ def _pool_run(task):
     return _POOL_WORKER((_POOL_STATE, *task))
 
 
+class _TracedWorker:
+    """Telemetry-capture shim wrapped around a shard worker.
+
+    Pool workers — threads and processes alike — start with no active
+    telemetry context (the session rides a ``ContextVar`` that executors
+    do not propagate), so when the dispatching session is enabled each
+    task instead runs under a fresh worker-local session and returns
+    ``(result, snapshot)``.  ``run_sharded`` absorbs the snapshots back
+    into the parent *positionally*, making the merged spans and metrics
+    deterministic for every worker count and executor flavour.
+    Instances are picklable whenever the wrapped worker is (the shard
+    workers are module-level functions), so the shim also rides through
+    the process-pool initializer.
+    """
+
+    def __init__(self, worker: Callable) -> None:
+        self.worker = worker
+
+    def __call__(self, task):
+        local = Telemetry(enabled=True)
+        with use_telemetry(local):
+            with local.span("entropy.shard", hist="entropy.shard_s"):
+                result = self.worker(task)
+        return result, local.export_state()
+
+
 def run_sharded(
     worker: Callable,
     tasks: Sequence,
@@ -196,12 +223,21 @@ def run_sharded(
     worker via the pool initializer rather than pickled into each task —
     the screen/sorted states hold the full ``O(N * M)`` profile arrays, so
     per-task serialisation would dwarf the sharded compute at large ``N``.
+
+    When a telemetry session is active (``repro.telemetry``), each task
+    runs under a worker-local capture (one ``entropy.shard`` span plus
+    whatever the worker records) whose snapshot is merged back here in
+    task order — the observability stream, like the results, is
+    byte-for-byte independent of ``num_workers`` and ``executor``.
     """
     if executor not in ("thread", "process"):
         raise ValueError(
             f"executor must be 'thread' or 'process', got {executor!r}"
         )
     tasks = list(tasks)
+    tel = get_telemetry()
+    if tel.enabled:
+        worker = _TracedWorker(worker)
     pooled = num_workers > 1 and len(tasks) > 1
     if state is not None and pooled and executor == "process":
         from concurrent.futures import ProcessPoolExecutor
@@ -211,17 +247,26 @@ def run_sharded(
             initializer=_pool_init,
             initargs=(worker, state),
         ) as pool:
-            return list(pool.map(_pool_run, tasks))
-    if state is not None:
-        tasks = [(state, *t) for t in tasks]
-    if not pooled:
-        return [worker(t) for t in tasks]
-    if executor == "thread":
-        from concurrent.futures import ThreadPoolExecutor as Pool
+            results = list(pool.map(_pool_run, tasks))
     else:
-        from concurrent.futures import ProcessPoolExecutor as Pool
-    with Pool(max_workers=min(num_workers, len(tasks))) as pool:
-        return list(pool.map(worker, tasks))
+        if state is not None:
+            tasks = [(state, *t) for t in tasks]
+        if not pooled:
+            results = [worker(t) for t in tasks]
+        else:
+            if executor == "thread":
+                from concurrent.futures import ThreadPoolExecutor as Pool
+            else:
+                from concurrent.futures import ProcessPoolExecutor as Pool
+            with Pool(max_workers=min(num_workers, len(tasks))) as pool:
+                results = list(pool.map(worker, tasks))
+    if tel.enabled:
+        merged = []
+        for result, snapshot in results:
+            tel.absorb(snapshot)
+            merged.append(result)
+        return merged
+    return results
 
 
 # ---------------------------------------------------------------------------
@@ -594,6 +639,14 @@ def _screen_block(
     # Entries below tau can never reach the top mc; dropping them up front
     # keeps the exact tie-breaking lexsort tiny.
     keep = seed_scores >= tau[ri]
+
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.count("entropy.screen.rows", b)
+        tel.count("entropy.screen.seed_pairs", int(counts1.sum()))
+        tel.count("entropy.screen.rescored_pairs", int(seed_scores.shape[0]))
+        tel.count("entropy.screen.survivor_pairs", int(keep.sum()))
+
     return select_topk_flat(ri[keep], ci[keep], seed_scores[keep], b, mc)
 
 
@@ -621,6 +674,11 @@ def screen_shard(args) -> Tuple[int, int, np.ndarray, np.ndarray, np.ndarray, np
         remote_scores[start - r0 : stop - r0] = scores
 
     lo, hi = int(state.indptr[r0]), int(state.indptr[r1])
+    tel = get_telemetry()
+    if tel.enabled:
+        # Adjacency volume is the shard balancer's load proxy; recording
+        # its distribution shows how even the decomposition really was.
+        tel.observe("entropy.shard_volume", hi - lo, buckets=SIZE_BUCKETS)
     nbr = state.indices[lo:hi]
     rows_flat = np.repeat(
         np.arange(r0, r1), np.diff(state.indptr[r0 : r1 + 1])

@@ -55,6 +55,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..graph import Graph
+from ..telemetry import get_telemetry
 from .relative_entropy import RelativeEntropy
 from .screening import (
     SCREEN_DEFAULT_SHARDS,
@@ -648,32 +649,39 @@ def build_entropy_sequences(
         )
     if num_workers < 1:
         raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    tel = get_telemetry()
     if shuffle:
-        return build_entropy_sequences_reference(
-            graph, entropy, max_candidates, rng=rng, shuffle=True, H=H
-        )
+        with tel.span("entropy.sequences", engine="reference"):
+            return build_entropy_sequences_reference(
+                graph, entropy, max_candidates, rng=rng, shuffle=True, H=H
+            )
     if H is not None:
-        return _build_from_rows(
-            graph, lambda s, e: H[s:e], max_candidates, block_size
-        )
+        with tel.span("entropy.sequences", engine="provided_rows"):
+            return _build_from_rows(
+                graph, lambda s, e: H[s:e], max_candidates, block_size
+            )
     if screening == "on" or (
         screening == "auto" and graph.num_nodes >= SCREEN_AUTO_MIN
     ):
-        return _build_screened(
+        with tel.span(
+            "entropy.sequences", engine="screened", workers=num_workers
+        ):
+            return _build_screened(
+                graph,
+                entropy,
+                max_candidates,
+                num_workers=num_workers,
+                executor=executor,
+                shard_plan=shard_plan,
+            )
+    with tel.span("entropy.sequences", engine="sorted", workers=num_workers):
+        return _build_sorted(
             graph,
             entropy,
             max_candidates,
             num_workers=num_workers,
             executor=executor,
-            shard_plan=shard_plan,
         )
-    return _build_sorted(
-        graph,
-        entropy,
-        max_candidates,
-        num_workers=num_workers,
-        executor=executor,
-    )
 
 
 def build_entropy_sequences_reference(

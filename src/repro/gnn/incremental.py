@@ -73,6 +73,7 @@ reference twin (``RareConfig.incremental_reward = False``).
 from __future__ import annotations
 
 from contextlib import contextmanager
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -81,6 +82,7 @@ import scipy.sparse as sp
 from ..graph import Graph
 from ..graph.graph import _member_sorted
 from ..graph.normalize import gcn_norm, row_norm, two_hop_adjacency
+from ..telemetry import SIZE_BUCKETS, Counter, StatsView, get_telemetry
 from ..tensor import Tensor, ops
 from ..tensor.backends import active_backend
 from .base import GNNBackbone, cached_matrix
@@ -715,9 +717,13 @@ def install_propagation_caches(
     ['gcn_norm', 'h2gcn_a2']
     """
     _require_delta(graph)
+    tel = get_telemetry()
     for key in keys:
         if key not in graph.cache:
+            tel.count(f"incremental.cache.build.{key}")
             graph.cache[key] = _PATCHERS[key](graph)
+        else:
+            tel.count(f"incremental.cache.hit.{key}")
 
 
 # ---------------------------------------------------------------------------
@@ -1533,6 +1539,11 @@ def supports_incremental(model: GNNBackbone) -> bool:
 # ---------------------------------------------------------------------------
 # The evaluator the RL envs call per reward step
 # ---------------------------------------------------------------------------
+#: Histogram boundaries for the halo-fraction distribution (0..1 in 5%
+#: steps — the same axis ``max_halo_frac`` thresholds on).
+_FRAC_BUCKETS = tuple(i / 20.0 for i in range(1, 21))
+
+
 class IncrementalEvaluator:
     """Reward evaluation that re-computes only a rewire's halo.
 
@@ -1550,7 +1561,12 @@ class IncrementalEvaluator:
     (``dense_from_state``; GAT re-normalises from cached attention
     ingredients instead of recomputing them each step) and delta-patching
     known propagation caches otherwise (:data:`_FALLBACK_MATRIX_KEYS`).
-    ``stats`` counts which path each call took.
+    ``stats`` counts which path each call took; it is a read-only
+    :class:`~repro.telemetry.StatsView` over per-evaluator telemetry
+    counters, and under an enabled telemetry session every path is also
+    mirrored into the session registry (``incremental.*`` counters, halo
+    size/fraction histograms, per-plan correction-time histograms and
+    fallback counts by reason).
 
     Examples
     --------
@@ -1576,19 +1592,29 @@ class IncrementalEvaluator:
         # masks are leased from here for the span of one evaluation and
         # recycled (zeroed on hand-out) instead of re-allocated per step.
         self._scratch = ScratchBuffers()
-        self.stats = {
-            "base_hits": 0,
-            "halo_evals": 0,
-            "full_evals": 0,
-            "state_fulls": 0,
-            "invalidations": 0,
+        # Per-evaluator counters behind the ``stats`` view keep exact
+        # per-instance numbers in every mode; ``_bump`` mirrors them into
+        # the active telemetry session (bound at construction) where they
+        # aggregate across evaluators.
+        self._tel = get_telemetry()
+        self._counters = {
+            key: Counter(f"incremental.{key}")
+            for key in (
+                "base_hits", "halo_evals", "full_evals", "state_fulls",
+                "invalidations",
+            )
         }
+        self.stats = StatsView(self._counters)
+
+    def _bump(self, key: str) -> None:
+        self._counters[key].inc()
+        self._tel.count(f"incremental.{key}")
 
     # ------------------------------------------------------------------
     def invalidate(self) -> None:
         """Drop the cached base activations (call after any weight update)."""
         self._state = None
-        self.stats["invalidations"] += 1
+        self._bump("invalidations")
 
     def _ensure_state(self) -> Dict[str, np.ndarray]:
         if self._state is None:
@@ -1599,7 +1625,7 @@ class IncrementalEvaluator:
         return self._plan is not None and self._has_delta(graph)
 
     def _full_logits(self, graph: Graph) -> np.ndarray:
-        self.stats["full_evals"] += 1
+        self._bump("full_evals")
         return self.model.predict_logits(graph)
 
     def _has_delta(self, graph: Graph) -> bool:
@@ -1609,9 +1635,13 @@ class IncrementalEvaluator:
     def predict_logits(self, graph: Graph) -> np.ndarray:
         """Full-graph eval-mode logits of ``graph`` under the bound model."""
         if self._plan is not None and graph is self.base_graph:
-            self.stats["base_hits"] += 1
+            self._bump("base_hits")
             return self._ensure_state()["out"].copy()
         if not self._eligible(graph):
+            self._tel.count(
+                "incremental.fallback.no_plan" if self._plan is None
+                else "incremental.fallback.foreign_graph"
+            )
             if self._plan is None and self._has_delta(graph):
                 # No halo plan for this backbone, but its propagation
                 # caches can still be delta-patched before the dense
@@ -1634,14 +1664,26 @@ class IncrementalEvaluator:
             return self._full_logits(graph)
         state = self._ensure_state()
         if graph.delta.is_empty:
-            self.stats["base_hits"] += 1
+            self._bump("base_hits")
             return state["out"].copy()
+        tel = self._tel
         with _scratch_session(self._scratch):
             dirty, halo, ctx = self._plan.prepare(self.model, graph)
+            if tel.enabled:
+                tel.observe(
+                    "incremental.halo_size", halo.shape[0],
+                    buckets=SIZE_BUCKETS,
+                )
+                tel.observe(
+                    "incremental.halo_frac",
+                    halo.shape[0] / max(graph.num_nodes, 1),
+                    buckets=_FRAC_BUCKETS,
+                )
             if (
                 getattr(self._plan, "oversize_fallback", True)
                 and halo.shape[0] > self.max_halo_frac * graph.num_nodes
             ):
+                tel.count("incremental.fallback.oversize")
                 # Too much of the graph is dirty for row slicing to pay
                 # off.  Plans with a state-reusing dense path (GAT) still
                 # evaluate from the per-model-version cache — the
@@ -1650,7 +1692,7 @@ class IncrementalEvaluator:
                 # dense path, never recomputed per step.
                 dense = getattr(self._plan, "dense_from_state", None)
                 if dense is not None:
-                    self.stats["state_fulls"] += 1
+                    self._bump("state_fulls")
                     return dense(self.model, graph, state, dirty, ctx)
                 # Otherwise patch the full propagation matrices into the
                 # graph's cache (cheaper than a rebuild) and run dense.
@@ -1659,10 +1701,21 @@ class IncrementalEvaluator:
                 for key in getattr(self._plan, "drop_after_dense", ()):
                     graph.cache.pop(key, None)
                 return logits
-            self.stats["halo_evals"] += 1
-            return self._plan.logits(
+            self._bump("halo_evals")
+            if not tel.enabled:
+                return self._plan.logits(
+                    self.model, graph, state, dirty, halo, ctx
+                )
+            start = perf_counter()
+            out = self._plan.logits(
                 self.model, graph, state, dirty, halo, ctx
             )
+            tel.observe(
+                "incremental.correction_s."
+                f"{type(self.model).__name__.lower()}",
+                perf_counter() - start,
+            )
+            return out
 
     def evaluate(
         self, graph: Graph, mask: np.ndarray, return_logits: bool = False

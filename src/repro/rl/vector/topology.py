@@ -55,6 +55,7 @@ from ...core.rewire import clamp_state_batch, rewire_graph, state_bounds
 from ...gnn.incremental import IncrementalEvaluator
 from ...graph import Graph, GraphDelta, homophily_ratio
 from ...nn import macro_auc
+from ...telemetry import Counter, StatsView, get_telemetry
 from ...tensor import Tensor
 from ..env import MultiDiscreteSpace
 from .base import VecEnv
@@ -137,10 +138,18 @@ class VecTopologyEnv(VecEnv):
         self._stacked_cache: Dict[tuple, tuple] = {}
 
         # --- shared cross-env/cross-episode rewire memo ---------------
+        # Accounting mirrors the sequential env: private per-instance
+        # telemetry counters behind a StatsView, mirrored into the active
+        # session's ``env.rewire_memo.*`` aggregates; ``_rewire_hits`` /
+        # ``_rewire_misses`` remain as read-only properties.
         self._rewire_cache: "OrderedDict[bytes, Graph]" = OrderedDict()
         self._rewire_cache_limit = TopologyEnv.REWIRE_CACHE_LIMIT * self.num_envs
-        self._rewire_hits = 0
-        self._rewire_misses = 0
+        self._tel = get_telemetry()
+        self._memo_counters = {
+            key: Counter(f"env.rewire_memo.{key}")
+            for key in ("hits", "misses", "evictions")
+        }
+        self.rewire_memo_stats = StatsView(self._memo_counters)
 
         # --- incremental reward engine --------------------------------
         # One evaluator over the delta root (the base graph, or the graph
@@ -199,11 +208,28 @@ class VecTopologyEnv(VecEnv):
     # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
+    def _memo_count(self, key: str) -> None:
+        """Bump a rewire-memo counter and mirror it into the session."""
+        self._memo_counters[key].inc()
+        self._tel.count(f"env.rewire_memo.{key}")
+
+    @property
+    def _rewire_hits(self) -> int:
+        """Back-compat integer view of the memo hit counter."""
+        return self._memo_counters["hits"].value
+
+    @property
+    def _rewire_misses(self) -> int:
+        """Back-compat integer view of the memo miss counter."""
+        return self._memo_counters["misses"].value
+
     def _metrics_single(self, graph: Graph) -> Tuple[float, float]:
         """Sequential-env-identical (score, loss) for one episode graph."""
-        return reward_metrics(
-            self.model, graph, self.split.train, self.config.reward, self._inc
-        )
+        with self._tel.span("env.reward", hist="rl.reward_s"):
+            return reward_metrics(
+                self.model, graph, self.split.train, self.config.reward,
+                self._inc,
+            )
 
     def _base_metrics(self) -> Tuple[float, float]:
         """Metrics of the base graph under the current model, memoised per
@@ -365,7 +391,10 @@ class VecTopologyEnv(VecEnv):
         if mode == "auto":
             mode = "stacked" if self.num_envs > 1 else "loop"
         if mode == "stacked":
-            return self._stacked_metrics(graphs)
+            with self._tel.span(
+                "env.reward", hist="rl.reward_s", batching="stacked"
+            ):
+                return self._stacked_metrics(graphs)
         # Per-episode loop, deduped on graph identity: episodes sharing a
         # memoised topology are scored once.
         scores = np.empty(self.num_envs)
@@ -386,20 +415,22 @@ class VecTopologyEnv(VecEnv):
         key = k.tobytes() + d.tobytes()
         graph = self._rewire_cache.get(key)
         if graph is None:
-            self._rewire_misses += 1
-            graph = rewire_graph(
-                self.base_graph,
-                self.sequences,
-                k,
-                d,
-                add_edges=self.config.add_edges,
-                remove_edges=self.config.remove_edges,
-            )
+            self._memo_count("misses")
+            with self._tel.span("env.rewire", hist="rl.rewire_s"):
+                graph = rewire_graph(
+                    self.base_graph,
+                    self.sequences,
+                    k,
+                    d,
+                    add_edges=self.config.add_edges,
+                    remove_edges=self.config.remove_edges,
+                )
             while len(self._rewire_cache) >= self._rewire_cache_limit:
                 self._rewire_cache.popitem(last=False)
+                self._memo_count("evictions")
             self._rewire_cache[key] = graph
         else:
-            self._rewire_hits += 1
+            self._memo_count("hits")
             # True LRU: a hit refreshes recency so hot states survive.
             self._rewire_cache.move_to_end(key)
         return graph
@@ -442,6 +473,15 @@ class VecTopologyEnv(VecEnv):
     def step(
         self, actions: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[Dict[str, Any]]]:
+        with self._tel.span(
+            "env.vec_step", hist="rl.vec_step_s", num_envs=self.num_envs
+        ):
+            return self._step(actions)
+
+    def _step(
+        self, actions: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[Dict[str, Any]]]:
+        """One batched transition; the body of :meth:`step` under its span."""
         actions = np.asarray(actions, dtype=np.int64)
         B, n = self.num_envs, self.base_graph.num_nodes
         if actions.shape != (B, 2 * n):
@@ -474,12 +514,13 @@ class VecTopologyEnv(VecEnv):
                 self.best_acc = float(scores[b])
                 self.best_graph = graphs[b]
                 if self.co_train:
-                    self.trainer.fit(
-                        graphs[b],
-                        self.split,
-                        epochs=self.config.co_train_epochs,
-                        patience=self.config.co_train_patience,
-                    )
+                    with self._tel.span("env.co_train", hist="rl.cotrain_s"):
+                        self.trainer.fit(
+                            graphs[b],
+                            self.split,
+                            epochs=self.config.co_train_epochs,
+                            patience=self.config.co_train_patience,
+                        )
                     self._model_version += 1
                     if self._inc is not None:
                         self._inc.invalidate()

@@ -1,0 +1,157 @@
+"""Human-readable run reports from telemetry sessions or JSONL streams.
+
+Spans are aggregated by *path* — the root-to-leaf chain of span names —
+so ten thousand ``env.step`` spans render as one tree row with a call
+count and total/mean milliseconds, indented under their parent phase.
+Counters, gauges and histogram quantile summaries follow.  The same
+renderer backs :meth:`repro.telemetry.Telemetry.report` (live sessions)
+and ``repro stats run.jsonl`` (persisted streams, via
+:func:`report_from_events`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .metrics import Histogram, MetricsRegistry
+
+__all__ = ["render_report", "report_from_events"]
+
+
+def _span_rows(spans: Sequence[Mapping]) -> List[Tuple[str, int, float]]:
+    """Aggregate span records into ``(indented name, count, seconds)``
+    rows, children under parents, siblings in first-seen order."""
+    by_id = {s["id"]: s for s in spans}
+    paths: Dict[Tuple[str, ...], List[float]] = {}
+    order: List[Tuple[str, ...]] = []
+    for span in spans:
+        path = [span["name"]]
+        parent = span.get("parent")
+        hops = 0
+        while parent is not None and hops < 128:
+            node = by_id.get(parent)
+            if node is None:
+                break
+            path.append(node["name"])
+            parent = node.get("parent")
+            hops += 1
+        key = tuple(reversed(path))
+        if key not in paths:
+            paths[key] = [0, 0.0]
+            order.append(key)
+        paths[key][0] += 1
+        paths[key][1] += span["dur"]
+    rows = []
+    for key in sorted(order):
+        count, total = paths[key]
+        rows.append(("  " * (len(key) - 1) + key[-1], count, total))
+    return rows
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{1000.0 * seconds:.2f}ms"
+
+
+def render_report(
+    spans: Sequence[Mapping],
+    registry: MetricsRegistry,
+    spans_dropped: int = 0,
+    title: str = "telemetry report",
+) -> str:
+    """Render one session (span records + registry) as aligned text."""
+    lines = [title, "=" * len(title)]
+
+    rows = _span_rows(spans)
+    if rows:
+        lines.append("")
+        lines.append("spans (aggregated by path):")
+        name_width = max(len(r[0]) for r in rows)
+        for name, count, total in rows:
+            mean = total / count if count else 0.0
+            lines.append(
+                f"  {name.ljust(name_width)}  x{count:<6d} "
+                f"total {_fmt_seconds(total):>10s}  "
+                f"mean {_fmt_seconds(mean):>10s}"
+            )
+        if spans_dropped:
+            lines.append(f"  ({spans_dropped} span(s) dropped at the cap)")
+
+    if registry.counters:
+        lines.append("")
+        lines.append("counters:")
+        width = max(len(n) for n in registry.counters)
+        for name in sorted(registry.counters):
+            lines.append(
+                f"  {name.ljust(width)}  {registry.counters[name].value}"
+            )
+
+    if registry.gauges:
+        lines.append("")
+        lines.append("gauges:")
+        width = max(len(n) for n in registry.gauges)
+        for name in sorted(registry.gauges):
+            lines.append(
+                f"  {name.ljust(width)}  {registry.gauges[name].value:g}"
+            )
+
+    if registry.histograms:
+        lines.append("")
+        lines.append("histograms (count / mean / p50 / p90 / p99 / max):")
+        width = max(len(n) for n in registry.histograms)
+        for name in sorted(registry.histograms):
+            s = registry.histograms[name].summary()
+            # Naming convention (docs/observability.md): histograms of
+            # durations end in ``_s`` and render as ms/s; anything else
+            # (sizes, fractions) renders as a plain number.
+            seconds = name.endswith("_s")
+            cells = " / ".join(
+                _fmt_value(s[k], seconds)
+                for k in ("mean", "p50", "p90", "p99", "max")
+            )
+            lines.append(
+                f"  {name.ljust(width)}  x{s['count']:<6d} {cells}"
+            )
+
+    if len(lines) == 2:
+        lines.append("(empty session)")
+    return "\n".join(lines)
+
+
+def _fmt_value(value: Optional[float], seconds: bool) -> str:
+    if value is None:
+        return "-"
+    if seconds:
+        return _fmt_seconds(value)
+    return f"{value:g}"
+
+
+def report_from_events(events: Sequence[Mapping]) -> str:
+    """Rebuild a report from schema events (a parsed JSONL stream).
+
+    Examples
+    --------
+    >>> out = report_from_events(
+    ...     [{"type": "counter", "v": 1, "name": "hits", "value": 2}]
+    ... )
+    >>> "hits" in out
+    True
+    """
+    registry = MetricsRegistry()
+    spans: List[Mapping] = []
+    for event in events:
+        etype = event.get("type")
+        if etype == "span":
+            spans.append(event)
+        elif etype == "counter":
+            registry.counter(event["name"]).inc(event["value"])
+        elif etype == "gauge":
+            registry.gauge(event["name"]).set(event["value"])
+        elif etype == "histogram":
+            registry.histograms[event["name"]] = Histogram.from_state(
+                event["name"],
+                {k: event[k] for k in
+                 ("buckets", "counts", "count", "total", "min", "max")},
+            )
+    return render_report(spans, registry)

@@ -1,0 +1,191 @@
+"""The telemetry JSONL event schema and its validator.
+
+Every line of a telemetry stream (``--telemetry=PATH``, or
+:meth:`Telemetry.events` in memory) is one JSON object carrying a
+``type`` discriminator and a schema version ``v`` (currently 1):
+
+``meta``
+    First line of a stream.  ``clock`` names the span clock
+    (``"perf_counter"``: monotonic, origin per process — durations are
+    comparable across processes, start offsets are not); ``run`` is
+    free-form session metadata.
+``span``
+    One closed span: ``id`` (positive int, unique per stream),
+    ``parent`` (id or ``null`` for roots), ``name``, ``start``
+    (seconds on the meta clock), ``dur`` (seconds), optional ``attrs``
+    (flat JSON object).
+``counter`` / ``gauge``
+    Final instrument values: ``name`` and numeric ``value``.
+``histogram``
+    Final histogram state: ``name``, sorted ``buckets`` (upper
+    bounds), ``counts`` (``len(buckets) + 1`` entries, last one the
+    overflow bucket), ``count``, ``total``, ``min``/``max`` (``null``
+    when empty).
+
+Metric lines appear after every span line (they are flushed by
+``Telemetry.close``).  The full prose version of this contract lives in
+``docs/observability.md``; :func:`validate_event` is the executable
+one, used by the ``repro stats`` CLI and the CI telemetry smoke step.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["validate_event", "validate_lines"]
+
+_EVENT_TYPES = ("meta", "span", "counter", "gauge", "histogram")
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ValueError(message)
+
+
+def _number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_event(event: Dict) -> None:
+    """Raise ``ValueError`` unless ``event`` is a schema-valid object.
+
+    Examples
+    --------
+    >>> validate_event({"type": "counter", "v": 1, "name": "x", "value": 3})
+    >>> validate_event({"type": "span", "v": 1})
+    Traceback (most recent call last):
+        ...
+    ValueError: span event missing required field 'id'
+    """
+    _require(isinstance(event, dict), f"event must be an object: {event!r}")
+    etype = event.get("type")
+    _require(
+        etype in _EVENT_TYPES,
+        f"unknown event type {etype!r}; expected one of {_EVENT_TYPES}",
+    )
+    _require(event.get("v") == 1, f"unsupported schema version {event.get('v')!r}")
+    if etype == "meta":
+        _require(
+            isinstance(event.get("clock"), str),
+            "meta event needs a string 'clock'",
+        )
+        _require(
+            isinstance(event.get("run"), dict),
+            "meta event needs an object 'run'",
+        )
+        return
+    if etype == "span":
+        for field in ("id", "name", "start", "dur"):
+            _require(
+                field in event,
+                f"span event missing required field {field!r}",
+            )
+        _require(
+            isinstance(event["id"], int) and event["id"] > 0,
+            f"span id must be a positive int: {event['id']!r}",
+        )
+        parent = event.get("parent")
+        _require(
+            parent is None or (isinstance(parent, int) and parent > 0),
+            f"span parent must be null or a positive int: {parent!r}",
+        )
+        _require(isinstance(event["name"], str), "span name must be a string")
+        _require(_number(event["start"]), "span start must be a number")
+        _require(
+            _number(event["dur"]) and event["dur"] >= 0,
+            f"span dur must be a non-negative number: {event['dur']!r}",
+        )
+        attrs = event.get("attrs")
+        _require(
+            attrs is None or isinstance(attrs, dict),
+            "span attrs must be an object when present",
+        )
+        return
+    _require(
+        isinstance(event.get("name"), str),
+        f"{etype} event needs a string 'name'",
+    )
+    if etype in ("counter", "gauge"):
+        _require(_number(event.get("value")), f"{etype} value must be a number")
+        if etype == "counter":
+            _require(
+                event["value"] >= 0, "counter value must be non-negative"
+            )
+        return
+    # histogram
+    buckets = event.get("buckets")
+    counts = event.get("counts")
+    _require(isinstance(buckets, list), "histogram needs a 'buckets' list")
+    _require(
+        all(_number(b) for b in buckets) and buckets == sorted(buckets),
+        "histogram buckets must be sorted numbers",
+    )
+    _require(
+        isinstance(counts, list) and len(counts) == len(buckets) + 1,
+        "histogram counts must have len(buckets) + 1 entries",
+    )
+    _require(
+        all(isinstance(c, int) and c >= 0 for c in counts),
+        "histogram counts must be non-negative ints",
+    )
+    _require(
+        isinstance(event.get("count"), int)
+        and event["count"] == sum(counts),
+        "histogram count must equal the sum of its bucket counts",
+    )
+    _require(_number(event.get("total")), "histogram total must be a number")
+    for bound in ("min", "max"):
+        value = event.get(bound)
+        _require(
+            value is None or _number(value),
+            f"histogram {bound} must be null or a number",
+        )
+
+
+def validate_lines(lines: Iterable[str]) -> Tuple[List[Dict], List[str]]:
+    """Parse and validate a JSONL stream; returns ``(events, errors)``.
+
+    Blank lines are skipped.  Each error string carries its 1-based line
+    number.  A valid stream additionally starts with a ``meta`` line,
+    never repeats a span id, and every span's parent id must exist
+    somewhere in the stream (spans are written in *completion* order, so
+    children may precede their parents).
+
+    Examples
+    --------
+    >>> events, errors = validate_lines(
+    ...     ['{"type": "meta", "v": 1, "clock": "perf_counter", "run": {}}']
+    ... )
+    >>> (len(events), errors)
+    (1, [])
+    """
+    events: List[Dict] = []
+    errors: List[str] = []
+    seen_ids: set = set()
+    parents: List[Tuple[int, int]] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+            validate_event(event)
+        except (ValueError, TypeError) as exc:
+            errors.append(f"line {lineno}: {exc}")
+            continue
+        if lineno == 1 and event.get("type") != "meta":
+            errors.append("line 1: stream must start with a meta event")
+        if event.get("type") == "span":
+            if event["id"] in seen_ids:
+                errors.append(f"line {lineno}: duplicate span id {event['id']}")
+            seen_ids.add(event["id"])
+            if event.get("parent") is not None:
+                parents.append((lineno, event["parent"]))
+        events.append(event)
+    for lineno, parent in parents:
+        if parent not in seen_ids:
+            errors.append(
+                f"line {lineno}: span parent {parent} never defined"
+            )
+    return events, errors

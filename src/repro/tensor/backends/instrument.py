@@ -1,0 +1,116 @@
+"""A telemetry-instrumented proxy around any :class:`TensorBackend`.
+
+:class:`InstrumentedBackend` wraps an inner backend and times every hot
+kernel into the bound telemetry session: each call bumps a
+``tensor.<backend>.<kernel>.calls`` counter and observes its wall time
+into a ``tensor.<backend>.<kernel>_s`` histogram.  The proxy reports the
+*inner* backend's ``name`` and ``bit_exact`` flag, so equivalence
+contracts and backend-sensitive call sites behave exactly as if the
+inner backend were active.
+
+The proxy is only ever installed when telemetry is enabled (the
+framework wraps the active backend per run), so the instrumented path
+records unconditionally — the disabled-telemetry overhead policy is
+enforced by never constructing one.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import numpy as np
+import scipy.sparse as sp
+
+from ...telemetry import Telemetry, get_telemetry
+from . import TensorBackend
+
+__all__ = ["InstrumentedBackend"]
+
+
+class InstrumentedBackend(TensorBackend):
+    """Per-kernel call counts and wall-time histograms for a backend.
+
+    Parameters
+    ----------
+    inner:
+        The backend whose kernels actually compute.
+    telemetry:
+        The session to record into; defaults to the ambient session at
+        construction time (:func:`repro.telemetry.get_telemetry`).
+    """
+
+    def __init__(
+        self, inner: TensorBackend, telemetry: Telemetry | None = None
+    ) -> None:
+        self.inner = inner
+        self._tel = telemetry if telemetry is not None else get_telemetry()
+        self.name = inner.name
+        self.bit_exact = inner.bit_exact
+
+    def _record(self, kernel: str, start: float) -> None:
+        """Account one kernel call that began at ``start``."""
+        elapsed = perf_counter() - start
+        prefix = f"tensor.{self.name}.{kernel}"
+        self._tel.count(f"{prefix}.calls")
+        self._tel.observe(f"{prefix}_s", elapsed)
+
+    # -- instrumented kernel surface -----------------------------------
+    def spmm(self, matrix: sp.spmatrix, dense: np.ndarray) -> np.ndarray:
+        """Timed delegate to the inner backend's ``spmm``."""
+        start = perf_counter()
+        out = self.inner.spmm(matrix, dense)
+        self._record("spmm", start)
+        return out
+
+    def segment_softmax(
+        self, data: np.ndarray, segment_ids: np.ndarray, num_segments: int
+    ) -> np.ndarray:
+        """Timed delegate to the inner backend's ``segment_softmax``."""
+        start = perf_counter()
+        out = self.inner.segment_softmax(data, segment_ids, num_segments)
+        self._record("segment_softmax", start)
+        return out
+
+    def segment_sum(
+        self, data: np.ndarray, segment_ids: np.ndarray, num_segments: int
+    ) -> np.ndarray:
+        """Timed delegate to the inner backend's ``segment_sum``."""
+        start = perf_counter()
+        out = self.inner.segment_sum(data, segment_ids, num_segments)
+        self._record("segment_sum", start)
+        return out
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Timed delegate to the inner backend's ``matmul``."""
+        start = perf_counter()
+        out = self.inner.matmul(a, b)
+        self._record("matmul", start)
+        return out
+
+    def js_divergence_block(self, P: np.ndarray, Q: np.ndarray) -> np.ndarray:
+        """Timed delegate to the inner backend's ``js_divergence_block``."""
+        start = perf_counter()
+        out = self.inner.js_divergence_block(P, Q)
+        self._record("js_divergence_block", start)
+        return out
+
+    def kl_divergence_block(
+        self, P: np.ndarray, Q: np.ndarray, eps: float = 1e-12
+    ) -> np.ndarray:
+        """Timed delegate to the inner backend's ``kl_divergence_block``."""
+        start = perf_counter()
+        out = self.inner.kl_divergence_block(P, Q, eps)
+        self._record("kl_divergence_block", start)
+        return out
+
+    def symmetric_kl_divergence_block(
+        self, P: np.ndarray, Q: np.ndarray, eps: float = 1e-12
+    ) -> np.ndarray:
+        """Timed delegate to ``symmetric_kl_divergence_block``."""
+        start = perf_counter()
+        out = self.inner.symmetric_kl_divergence_block(P, Q, eps)
+        self._record("symmetric_kl_divergence_block", start)
+        return out
+
+    def __repr__(self) -> str:
+        return f"<InstrumentedBackend over {self.inner!r}>"

@@ -43,7 +43,27 @@ def test_save_results_roundtrip(tmp_path, monkeypatch):
     path = save_results("unit", {"x": 1.5})
     import json
 
-    assert json.load(open(path)) == {"x": 1.5}
+    assert json.load(open(path)) == {
+        "schema": "repro-bench/v2", "bench": "unit",
+        "telemetry": None, "results": {"x": 1.5},
+    }
+
+
+def test_save_results_embeds_telemetry_snapshot(tmp_path, monkeypatch):
+    import repro.bench.harness as harness
+
+    from repro.telemetry import Telemetry, use_telemetry
+
+    monkeypatch.setattr(harness, "RESULTS_DIR", str(tmp_path))
+    tel = Telemetry(enabled=True)
+    with use_telemetry(tel):
+        tel.count("bench.cases", 3)
+    path = save_results("unit", {"x": 1.5}, telemetry=tel)
+    import json
+
+    envelope = json.load(open(path))
+    assert envelope["telemetry"]["counters"]["bench.cases"] == 3
+    assert envelope["results"] == {"x": 1.5}
 
 
 # ---------------------------------------------------------------------------

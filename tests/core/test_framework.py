@@ -116,6 +116,13 @@ def test_config_validation():
         RareConfig(num_workers=0)
     cfg = RareConfig(screening="on", num_workers=4)
     assert cfg.screening == "on" and cfg.num_workers == 4
+    with pytest.raises(ValueError):
+        RareConfig(telemetry="")
+    with pytest.raises(ValueError):
+        RareConfig(telemetry=7)
+    assert RareConfig(telemetry="on").telemetry == "on"
+    assert RareConfig(telemetry="run.jsonl").telemetry == "run.jsonl"
+    assert RareConfig().telemetry is None
 
 
 def test_add_only_and_remove_only_configs(heterophilic):
@@ -127,3 +134,31 @@ def test_add_only_and_remove_only_configs(heterophilic):
             assert graph.edges <= result.optimized_graph.edges
         else:
             assert result.optimized_graph.edges <= graph.edges
+
+
+def test_fit_with_telemetry_emits_valid_jsonl(heterophilic, tmp_path):
+    from repro.telemetry import get_telemetry, validate_lines
+
+    graph, split = heterophilic
+    path = str(tmp_path / "fit.jsonl")
+    rare = GraphRARE(
+        "gcn", tiny_config(episodes=1, horizon=2, telemetry=path)
+    )
+    result = rare.fit(graph, split, train_baseline=True)
+    assert 0.0 <= result.test_acc <= 1.0
+    # The session opened from the config is closed again after fit.
+    assert not get_telemetry().enabled
+
+    events, errors = validate_lines(open(path).read().splitlines())
+    assert errors == []
+    names = {e["name"] for e in events if e["type"] == "span"}
+    # The span tree covers entropy -> rewire -> reward -> co-training.
+    for required in (
+        "rare.fit", "rare.entropy", "rare.baseline", "rare.final",
+        "env.step", "env.reward", "env.co_train",
+    ):
+        assert required in names, required
+    counters = {e["name"] for e in events if e["type"] == "counter"}
+    assert any(c.startswith("env.rewire_memo.") for c in counters)
+    assert any(c.startswith("tensor.") and c.endswith(".calls")
+               for c in counters)

@@ -1,0 +1,123 @@
+"""JSONL sink, schema validator and report rendering."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    Telemetry,
+    render_report,
+    report_from_events,
+    use_telemetry,
+    validate_event,
+    validate_lines,
+)
+
+
+def make_session(tmp_path=None):
+    path = str(tmp_path / "run.jsonl") if tmp_path is not None else None
+    tel = Telemetry(enabled=True, jsonl_path=path, run={"name": "unit"})
+    with use_telemetry(tel):
+        with tel.span("outer", hist="outer_s"):
+            with tel.span("inner", engine="screened"):
+                tel.count("widgets", 3)
+                tel.observe("sizes", 5.0, buckets=(1.0, 10.0))
+                tel.set_gauge("depth", 2.0)
+    tel.close()
+    return tel, path
+
+
+def test_jsonl_stream_is_schema_valid(tmp_path):
+    tel, path = make_session(tmp_path)
+    lines = open(path).read().splitlines()
+    events, errors = validate_lines(lines)
+    assert errors == []
+    types = [e["type"] for e in events]
+    assert types[0] == "meta"
+    assert events[0]["run"] == {"name": "unit"}
+    assert types.count("span") == 2
+    assert "counter" in types and "gauge" in types and "histogram" in types
+    # Metric lines come after every span line (flushed by close()).
+    assert max(i for i, t in enumerate(types) if t == "span") < min(
+        i for i, t in enumerate(types) if t in ("counter", "gauge", "histogram")
+    )
+
+
+def test_close_is_idempotent(tmp_path):
+    tel, path = make_session(tmp_path)
+    tel.close()  # second close: no duplicate metric lines
+    lines = open(path).read().splitlines()
+    counters = [l for l in lines if json.loads(l)["type"] == "counter"]
+    assert len(counters) == 1
+
+
+def test_in_memory_events_match_file_events(tmp_path):
+    tel, path = make_session(tmp_path)
+    from_file = [json.loads(l) for l in open(path).read().splitlines()]
+    assert tel.events() == from_file
+
+
+def test_report_from_events_roundtrips(tmp_path):
+    tel, path = make_session(tmp_path)
+    events, errors = validate_lines(open(path).read().splitlines())
+    assert not errors
+    report = report_from_events(events)
+    assert report == tel.report()
+    assert "outer" in report and "inner" in report
+    assert "widgets" in report and "sizes" in report
+
+
+def test_validator_flags_bad_events():
+    with pytest.raises(ValueError):
+        validate_event({"type": "mystery", "v": 1})
+    with pytest.raises(ValueError):
+        validate_event({"type": "span", "v": 2})
+    with pytest.raises(ValueError):
+        validate_event({"type": "span", "v": 1})  # missing fields
+    with pytest.raises(ValueError):
+        validate_event({"type": "counter", "v": 1, "name": "c", "value": -1})
+    with pytest.raises(ValueError):
+        validate_event({
+            "type": "histogram", "v": 1, "name": "h",
+            "buckets": [2.0, 1.0], "counts": [0, 0, 0],
+            "count": 0, "total": 0.0, "min": None, "max": None,
+        })
+
+
+def test_validate_lines_checks_stream_invariants():
+    meta = json.dumps(
+        {"type": "meta", "v": 1, "clock": "perf_counter", "run": {}}
+    )
+    span = {"type": "span", "v": 1, "id": 1, "parent": None, "name": "a",
+            "start": 0.0, "dur": 0.1}
+    # Child before parent is VALID (completion order).
+    child_first = [
+        meta,
+        json.dumps({**span, "id": 2, "parent": 3}),
+        json.dumps({**span, "id": 3}),
+    ]
+    events, errors = validate_lines(child_first)
+    assert errors == []
+
+    dup = [meta, json.dumps(span), json.dumps(span)]
+    _, errors = validate_lines(dup)
+    assert any("duplicate span id" in e for e in errors)
+
+    orphan = [meta, json.dumps({**span, "parent": 99})]
+    _, errors = validate_lines(orphan)
+    assert any("never defined" in e for e in errors)
+
+    no_meta = [json.dumps(span)]
+    _, errors = validate_lines(no_meta)
+    assert any("must start with a meta event" in e for e in errors)
+
+
+def test_report_duration_suffix_convention():
+    tel = Telemetry(enabled=True)
+    with use_telemetry(tel):
+        tel.observe("halo_size", 12.0, buckets=(4.0, 16.0))
+        tel.observe("step_s", 0.012)
+    report = render_report(tel.spans, tel.registry)
+    # `_s` histograms render as durations; others as plain numbers.
+    assert "12.00ms" in report
+    assert "12.00s" not in report

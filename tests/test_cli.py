@@ -88,3 +88,45 @@ def test_run_command_alternative_agent(capsys):
         "--k-max", "2", "--d-max", "2",
     ])
     assert code == 0
+
+
+def test_telemetry_flag_parses():
+    args = build_parser().parse_args(["run", "--dataset", "texas"])
+    assert args.telemetry is None
+    args = build_parser().parse_args(
+        ["run", "--dataset", "texas", "--telemetry"]
+    )
+    assert args.telemetry == "on"
+    args = build_parser().parse_args(
+        ["rewire", "--dataset", "texas", "--telemetry", "out.jsonl"]
+    )
+    assert args.telemetry == "out.jsonl"
+
+
+def test_rewire_telemetry_jsonl_and_stats(tmp_path, capsys):
+    from repro.telemetry import validate_lines
+
+    path = str(tmp_path / "rewire.jsonl")
+    code = main([
+        "rewire", "--dataset", "texas", "--scale", "0.5",
+        "--k", "1", "--d", "1", "--telemetry", path,
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "telemetry report" in out.lower()
+    events, errors = validate_lines(open(path).read().splitlines())
+    assert errors == []
+    names = {e["name"] for e in events if e["type"] == "span"}
+    assert "rewire.entropy" in names and "rewire.apply" in names
+
+    code = main(["stats", path])
+    assert code == 0
+    assert "rewire.apply" in capsys.readouterr().out
+
+
+def test_stats_rejects_invalid_stream(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"type": "span", "v": 1}\n')
+    assert main(["stats", str(bad)]) == 1
+    assert "schema error" in capsys.readouterr().err.lower()
+    assert main(["stats", str(tmp_path / "missing.jsonl")]) == 2
