@@ -1,6 +1,6 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test doclint bench-smoke bench-scaling bench-rollout bench-entropy bench-reward bench-halo bench-backend bench-telemetry
+.PHONY: test doclint bench-smoke bench-scaling bench-rollout bench-entropy bench-reward bench-halo bench-backend bench-telemetry bench-out-of-core
 
 test:
 	$(PY) -m pytest -x -q
@@ -22,6 +22,7 @@ bench-smoke:
 	$(PY) benchmarks/bench_halo_backbones.py --nodes 1500 --edits 2 --steps 4 --repeats 2
 	$(PY) benchmarks/bench_backend_kernels.py --sizes 2000
 	$(PY) benchmarks/bench_telemetry_overhead.py --steps 32 --iterations 50000
+	$(PY) benchmarks/bench_out_of_core.py --n 3000
 
 # Full trajectory including the 20k-node fast-path-only point.
 bench-scaling:
@@ -66,3 +67,11 @@ bench-backend:
 # informational enabled/disabled macro ratio; JSON into bench_results/.
 bench-telemetry:
 	$(PY) benchmarks/bench_telemetry_overhead.py
+
+# Out-of-core pipeline from a memmapped graph bundle vs the in-RAM twin
+# at N = 100k: byte-identical screening/rewire/reward outputs, streamed
+# peak-RSS delta <= 0.5x the materialised graph, wall <= 1.5x in-RAM.
+# Both legs run in fresh subprocesses; JSON into bench_results/.
+# Long on one core (the certified screen is ~N^2): budget ~1-2 h.
+bench-out-of-core:
+	$(PY) benchmarks/bench_out_of_core.py

@@ -5,6 +5,7 @@ from .harness import (
     MethodResult,
     format_table,
     paper_vs_measured_row,
+    peak_rss_bytes,
     run_baseline_method,
     run_rare_method,
     save_results,
@@ -33,6 +34,7 @@ __all__ = [
     "format_table",
     "paper_values",
     "paper_vs_measured_row",
+    "peak_rss_bytes",
     "run_baseline_method",
     "run_rare_method",
     "save_results",

@@ -116,6 +116,46 @@ def paper_vs_measured_row(
     return [label, paper_cell, f"{measured:.1f}", note]
 
 
+def _parse_vmhwm_kb(status_text: str) -> Optional[int]:
+    """The ``VmHWM`` line of a ``/proc/<pid>/status`` dump, in KiB.
+
+    Split out from :func:`peak_rss_bytes` so the parsing is unit-testable
+    without faking ``/proc``.
+    """
+    for line in status_text.splitlines():
+        if line.startswith("VmHWM:"):
+            fields = line.split()
+            if len(fields) >= 2 and fields[1].isdigit():
+                return int(fields[1])
+    return None
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """This process's lifetime peak resident set size, in bytes.
+
+    Primary source is ``resource.getrusage`` (``ru_maxrss`` is KiB on
+    Linux); if the ``resource`` module is unavailable or reports nothing,
+    falls back to the ``VmHWM`` field of ``/proc/self/status``.  Returns
+    ``None`` only when neither source exists (non-Linux without
+    ``resource``).  Note this is a monotone high-water mark: benches that
+    want a per-phase number must measure in a fresh subprocess.
+    """
+    try:
+        import resource
+    except ImportError:
+        resource = None
+    if resource is not None:
+        peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if peak_kb > 0:
+            return int(peak_kb) * 1024
+    try:
+        with open("/proc/self/status") as f:
+            hwm_kb = _parse_vmhwm_kb(f.read())
+    except OSError:
+        return None
+    return None if hwm_kb is None else hwm_kb * 1024
+
+
 def save_results(name: str, payload: dict, telemetry=None) -> str:
     """Persist a bench's results to ``bench_results/<name>.json``.
 
@@ -123,12 +163,15 @@ def save_results(name: str, payload: dict, telemetry=None) -> str:
 
         {"schema": "repro-bench/v2", "bench": <name>,
          "telemetry": <counter/histogram snapshot or null>,
+         "peak_rss_bytes": <process high-water mark or null>,
          "results": <payload>}
 
     ``telemetry`` may be a :class:`repro.telemetry.Telemetry` session (its
     :meth:`~repro.telemetry.Telemetry.snapshot` is embedded) or an
     already-built snapshot dict, so each contract bench ships the metric
-    state it ran under next to its numbers.
+    state it ran under next to its numbers.  ``peak_rss_bytes``
+    (:func:`peak_rss_bytes`) records how much memory the bench process
+    ever held — the number the out-of-core contract is written against.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.json")
@@ -137,6 +180,7 @@ def save_results(name: str, payload: dict, telemetry=None) -> str:
         "schema": "repro-bench/v2",
         "bench": name,
         "telemetry": snapshot,
+        "peak_rss_bytes": peak_rss_bytes(),
         "results": payload,
     }
     with open(path, "w") as f:

@@ -44,11 +44,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_dataset_args(p):
-        p.add_argument("--dataset", required=True, choices=dataset_names())
+    def add_dataset_args(p, bundle: bool = False):
+        p.add_argument("--dataset", required=not bundle,
+                       choices=dataset_names())
         p.add_argument("--scale", type=float, default=0.1,
                        help="graph shrink factor (default 0.1)")
         p.add_argument("--seed", type=int, default=0)
+        if bundle:
+            p.add_argument("--graph-bundle", default=None, metavar="DIR",
+                           help="run from an on-disk graph bundle "
+                                "(repro.graph.save_graph_bundle) instead "
+                                "of --dataset: arrays stay memory-mapped "
+                                "and the entropy screen streams shard "
+                                "state from the bundle (storage='stream')")
 
     def add_telemetry_arg(p):
         p.add_argument("--telemetry", nargs="?", const="on", default=None,
@@ -81,7 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_dataset_args(info)
 
     run = sub.add_parser("run", help="run the GraphRARE pipeline")
-    add_dataset_args(run)
+    add_dataset_args(run, bundle=True)
     run.add_argument("--backbone", default="gcn",
                      choices=["gcn", "graphsage", "gat", "h2gcn", "mixhop", "mlp"])
     run.add_argument("--episodes", type=int, default=4)
@@ -110,7 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_telemetry_arg(run)
 
     rewire = sub.add_parser("rewire", help="static entropy-guided rewiring")
-    add_dataset_args(rewire)
+    add_dataset_args(rewire, bundle=True)
     rewire.add_argument("--k", type=int, default=2)
     rewire.add_argument("--d", type=int, default=1)
     rewire.add_argument("--lam", type=float, default=1.0)
@@ -150,15 +158,38 @@ def _finish_telemetry(tel) -> None:
             print(f"\ntelemetry event log: {tel.jsonl_path}")
 
 
-def cmd_run(args) -> int:
+def _resolve_graph(args):
+    """The command's graph and its display name: a memmapped bundle when
+    ``--graph-bundle`` is given, the (scaled) named dataset otherwise."""
+    bundle = getattr(args, "graph_bundle", None)
+    if bundle is not None and args.dataset is not None:
+        print("error: pass either --dataset or --graph-bundle, not both",
+              file=sys.stderr)
+        return None, None
+    if bundle is not None:
+        from .graph import load_graph_bundle
+
+        return load_graph_bundle(bundle), f"bundle:{bundle}"
+    if args.dataset is None:
+        print("error: one of --dataset or --graph-bundle is required",
+              file=sys.stderr)
+        return None, None
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    return graph, args.dataset
+
+
+def cmd_run(args) -> int:
+    graph, graph_name = _resolve_graph(args)
+    if graph is None:
+        return 2
     splits = geom_gcn_splits(graph, num_splits=args.splits, seed=args.seed)
     tel = telemetry_from_spec(
         args.telemetry,
-        run={"command": "run", "dataset": args.dataset,
+        run={"command": "run", "dataset": graph_name,
              "backbone": args.backbone},
     )
     config = RareConfig(
+        storage="stream" if args.graph_bundle else "ram",
         lam=args.lam,
         k_max=args.k_max,
         d_max=args.d_max,
@@ -200,18 +231,32 @@ def cmd_run(args) -> int:
 
 
 def cmd_rewire(args) -> int:
-    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    graph, graph_name = _resolve_graph(args)
+    if graph is None:
+        return 2
     tel = telemetry_from_spec(
-        args.telemetry, run={"command": "rewire", "dataset": args.dataset}
+        args.telemetry, run={"command": "rewire", "dataset": graph_name}
     )
+    max_candidates = max(8, args.k)
     with use_telemetry(tel):
         with use_backend(args.tensor_backend):
             with tel.span("rewire.entropy"):
-                entropy = RelativeEntropy.from_graph(graph, lam=args.lam)
-                sequences = build_entropy_sequences(
-                    graph, entropy, max_candidates=max(8, args.k),
-                    screening=args.screening, num_workers=args.num_workers,
-                )
+                if args.graph_bundle:
+                    sequences = build_entropy_sequences(
+                        graph, None, max_candidates=max_candidates,
+                        screening="on", num_workers=args.num_workers,
+                        state_loader=_bundle_state_loader(
+                            graph, args.graph_bundle, args.lam,
+                            max_candidates,
+                        ),
+                    )
+                else:
+                    entropy = RelativeEntropy.from_graph(graph, lam=args.lam)
+                    sequences = build_entropy_sequences(
+                        graph, entropy, max_candidates=max_candidates,
+                        screening=args.screening,
+                        num_workers=args.num_workers,
+                    )
         k = np.minimum(args.k, (sequences.remote >= 0).sum(axis=1))
         d = np.minimum(args.d, graph.degrees())
         with tel.span("rewire.apply"):
@@ -222,6 +267,27 @@ def cmd_rewire(args) -> int:
         print(f"saved optimised graph to {path}")
     _finish_telemetry(tel)
     return 0
+
+
+def _bundle_state_loader(graph, path: str, lam: float, max_candidates: int):
+    """Streamed-screening recipe for ``rewire --graph-bundle``: write the
+    entropy sidecar on first use, then let each shard stream from it."""
+    from .graph.storage import (
+        ScreenStateLoader,
+        entropy_sidecar_meta,
+        has_entropy_sidecar,
+        save_entropy_sidecar,
+    )
+
+    if not has_entropy_sidecar(path):
+        save_entropy_sidecar(path, RelativeEntropy.from_graph(graph, lam=lam))
+    elif entropy_sidecar_meta(path)["lam"] != lam:
+        raise ValueError(
+            f"entropy sidecar at {path!r} was built with lam="
+            f"{entropy_sidecar_meta(path)['lam']} but --lam={lam} was "
+            "requested; delete the sidecar or align the flag"
+        )
+    return ScreenStateLoader(path, max_candidates=max_candidates)
 
 
 def cmd_stats(args) -> int:

@@ -121,6 +121,16 @@ class RareConfig:
     ``repro stats <path>``).  When the caller already entered a session
     via :func:`repro.telemetry.use_telemetry`, that ambient session wins
     and this field is ignored."""
+    storage: str = "ram"
+    """Where the entropy screen reads the graph from.  ``"ram"``
+    (default) builds the screen state in memory — the historical path.
+    ``"stream"`` requires a bundle-backed graph
+    (:func:`repro.graph.storage.load_graph_bundle`): shard workers
+    stream their row ranges straight from the bundle's entropy sidecar
+    (written on first use) instead of receiving pickled arrays, so peak
+    RSS tracks one shard's working set rather than the graph.  Outputs
+    are byte-identical between the two modes for every worker count and
+    executor."""
     tensor_backend: str = "numpy"
     """Kernel backend for the tensor substrate
     (:mod:`repro.tensor.backends`): ``"numpy"`` (default) is the
@@ -164,6 +174,10 @@ class RareConfig:
             raise ValueError(
                 "telemetry must be None, 'on'/'memory', 'off' or a JSONL "
                 f"path string, got {self.telemetry!r}"
+            )
+        if self.storage not in ("ram", "stream"):
+            raise ValueError(
+                f"storage must be 'ram' or 'stream', got {self.storage!r}"
             )
         if self.tensor_backend not in ("numpy", "accel", "auto"):
             raise ValueError(

@@ -74,24 +74,84 @@ class GraphRARE:
         ``entropy_seconds`` reported on :class:`RareResult`.
         """
         with get_telemetry().timed_span("rare.entropy") as span:
-            entropy = RelativeEntropy.from_graph(
-                graph,
-                lam=self.config.lam,
-                embedding=self.config.embedding,
-                max_profile_len=self.config.max_profile_len,
-                rng=rng,
-                structural_mode=self.config.structural_mode,
-            )
-            sequences = build_entropy_sequences(
-                graph,
-                entropy,
-                max_candidates=self.config.max_candidates,
-                rng=rng,
-                shuffle=shuffle,
-                screening=self.config.screening,
-                num_workers=self.config.num_workers,
-            )
+            if self.config.storage == "stream":
+                sequences = build_entropy_sequences(
+                    graph,
+                    None,
+                    max_candidates=self.config.max_candidates,
+                    rng=rng,
+                    shuffle=shuffle,
+                    screening="on",
+                    num_workers=self.config.num_workers,
+                    state_loader=self._stream_state_loader(graph, rng),
+                )
+            else:
+                entropy = RelativeEntropy.from_graph(
+                    graph,
+                    lam=self.config.lam,
+                    embedding=self.config.embedding,
+                    max_profile_len=self.config.max_profile_len,
+                    rng=rng,
+                    structural_mode=self.config.structural_mode,
+                )
+                sequences = build_entropy_sequences(
+                    graph,
+                    entropy,
+                    max_candidates=self.config.max_candidates,
+                    rng=rng,
+                    shuffle=shuffle,
+                    screening=self.config.screening,
+                    num_workers=self.config.num_workers,
+                )
         return sequences, span.duration
+
+    def _stream_state_loader(self, graph: Graph, rng: np.random.Generator):
+        """The ``storage="stream"`` screening recipe for a bundle graph.
+
+        The bundle's entropy sidecar is the stream source; it is written
+        on first use (one in-RAM entropy build, persisted next to the
+        graph arrays) and validated against the config on every reuse so
+        a stale sidecar can never silently change the sequences.
+        """
+        from ..graph.storage import (
+            ScreenStateLoader,
+            entropy_sidecar_meta,
+            has_entropy_sidecar,
+            save_entropy_sidecar,
+        )
+
+        bundle = getattr(graph, "bundle", None)
+        if bundle is None:
+            raise ValueError(
+                "storage='stream' needs a bundle-backed graph; load one "
+                "with repro.graph.load_graph_bundle (CLI: --graph-bundle)"
+            )
+        path = bundle.path
+        if not has_entropy_sidecar(path):
+            save_entropy_sidecar(
+                path,
+                RelativeEntropy.from_graph(
+                    graph,
+                    lam=self.config.lam,
+                    embedding=self.config.embedding,
+                    max_profile_len=self.config.max_profile_len,
+                    rng=rng,
+                    structural_mode=self.config.structural_mode,
+                ),
+            )
+        meta = entropy_sidecar_meta(path)
+        if (
+            meta["lam"] != self.config.lam
+            or meta["structural_mode"] != self.config.structural_mode
+        ):
+            raise ValueError(
+                f"entropy sidecar at {path!r} was built with lam="
+                f"{meta['lam']}, structural_mode={meta['structural_mode']!r}"
+                f" but the config asks for lam={self.config.lam}, "
+                f"structural_mode={self.config.structural_mode!r}; delete "
+                "the sidecar or align the config"
+            )
+        return ScreenStateLoader(path, max_candidates=self.config.max_candidates)
 
     def _build_model(self, graph: Graph, rng: np.random.Generator) -> GNNBackbone:
         return build_backbone(

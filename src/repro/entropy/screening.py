@@ -165,12 +165,18 @@ _POOL_WORKER: Optional[Callable] = None
 _POOL_STATE = None
 
 
-def _pool_init(worker: Callable, state) -> None:
+def _pool_init(worker: Callable, state, state_loader: Optional[Callable] = None) -> None:
     """Process-pool initializer: receives the shared state once per worker
-    process (pickled through ``initargs``) instead of once per task."""
+    process (pickled through ``initargs``) instead of once per task.
+
+    When ``state_loader`` is given instead of ``state``, the worker
+    process *builds* its state by calling it — the streaming path, where
+    only a bundle path crosses the process boundary and the arrays are
+    memmapped locally (:class:`repro.graph.storage.ScreenStateLoader`).
+    """
     global _POOL_WORKER, _POOL_STATE
     _POOL_WORKER = worker
-    _POOL_STATE = state
+    _POOL_STATE = state_loader() if state_loader is not None else state
 
 
 def _pool_run(task):
@@ -209,6 +215,7 @@ def run_sharded(
     num_workers: int = 1,
     executor: str = "thread",
     state=None,
+    state_loader: Optional[Callable] = None,
 ) -> list:
     """Run ``worker`` over ``tasks`` on a worker pool; results keep task
     order (the merge is positional, so parallel runs are deterministic).
@@ -224,6 +231,15 @@ def run_sharded(
     the screen/sorted states hold the full ``O(N * M)`` profile arrays, so
     per-task serialisation would dwarf the sharded compute at large ``N``.
 
+    ``state_loader`` is the out-of-core alternative to ``state``: a small
+    picklable zero-argument callable (typically a
+    :class:`repro.graph.storage.ScreenStateLoader` holding a bundle path)
+    that *builds* the shared state.  On a process pool each worker calls
+    it inside the pool initializer, so no array ever crosses the process
+    boundary; on a thread pool or a serial run it is called once here and
+    the result shared.  Exactly one of ``state``/``state_loader`` may be
+    given.
+
     When a telemetry session is active (``repro.telemetry``), each task
     runs under a worker-local capture (one ``entropy.shard`` span plus
     whatever the worker records) whose snapshot is merged back here in
@@ -234,21 +250,27 @@ def run_sharded(
         raise ValueError(
             f"executor must be 'thread' or 'process', got {executor!r}"
         )
+    if state is not None and state_loader is not None:
+        raise ValueError("pass either state or state_loader, not both")
     tasks = list(tasks)
     tel = get_telemetry()
     if tel.enabled:
         worker = _TracedWorker(worker)
     pooled = num_workers > 1 and len(tasks) > 1
-    if state is not None and pooled and executor == "process":
+    if pooled and executor == "process" and (
+        state is not None or state_loader is not None
+    ):
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(
             max_workers=min(num_workers, len(tasks)),
             initializer=_pool_init,
-            initargs=(worker, state),
+            initargs=(worker, state, state_loader),
         ) as pool:
             results = list(pool.map(_pool_run, tasks))
     else:
+        if state_loader is not None:
+            state = state_loader()
         if state is not None:
             tasks = [(state, *t) for t in tasks]
         if not pooled:
@@ -461,6 +483,13 @@ class ScreenState:
     quantile estimate (part of the state so every shard sees the same
     sample and parallel builds stay byte-identical)."""
 
+    release: Optional[object] = None
+    """Optional page-release policy for memmap-backed state
+    (:class:`repro.graph.storage.MmapReleaser`): ``release.step()`` runs
+    after every screened row block, ``release.flush()`` at shard end, so
+    a streaming worker's resident set stays bounded by one block's
+    gathers.  ``None`` (in-RAM state) skips both calls."""
+
 
 def select_topk_flat(
     r: np.ndarray,
@@ -672,6 +701,8 @@ def screen_shard(args) -> Tuple[int, int, np.ndarray, np.ndarray, np.ndarray, np
         ids, scores = _screen_block(state, start, stop, scratch)
         remote[start - r0 : stop - r0] = ids
         remote_scores[start - r0 : stop - r0] = scores
+        if state.release is not None:
+            state.release.step()
 
     lo, hi = int(state.indptr[r0]), int(state.indptr[r1])
     tel = get_telemetry()
@@ -685,7 +716,39 @@ def screen_shard(args) -> Tuple[int, int, np.ndarray, np.ndarray, np.ndarray, np
     )
     vals = state.scorer.score(rows_flat, nbr) if nbr.size else np.empty(0)
     perm = np.lexsort((vals, rows_flat))
-    return r0, r1, remote, remote_scores, nbr[perm], vals[perm]
+    nbr, vals = nbr[perm], vals[perm]
+    if state.release is not None:
+        state.release.flush()
+    return r0, r1, remote, remote_scores, nbr, vals
+
+
+def default_screen_params(
+    n: int,
+    max_candidates: int,
+    screen_size: Optional[int] = None,
+    block_rows: Optional[int] = None,
+) -> Tuple[int, int]:
+    """Resolve ``(screen_size, block_rows)`` defaults for a screen build.
+
+    One shared formula for :func:`build_screen_state` and the bundle
+    state loader (:class:`repro.graph.storage.ScreenStateLoader`): both
+    paths must agree or the streamed and in-RAM screens would group rows
+    differently and drift at the ULP level (the scorer's batch-quantile
+    width depends on the block grouping).
+    """
+    if screen_size is None:
+        screen_size = max(8 * max_candidates, 64)
+    if block_rows is None:
+        # Cap the (B, N) float32 logit block at ~128 MB.
+        block_rows = int(min(1024, max(64, 32_000_000 // max(n, 1))))
+    return int(screen_size), int(block_rows)
+
+
+def screen_sample(n: int) -> np.ndarray:
+    """Stratified column sample for the seed quantile estimate (every
+    n-th node); deterministic, so all shards, worker counts and state
+    construction paths (in-RAM or bundle-loaded) agree."""
+    return np.unique(np.linspace(0, n - 1, min(n, 1024)).astype(np.int64))
 
 
 def build_screen_state(
@@ -699,14 +762,10 @@ def build_screen_state(
     indptr, indices = graph.csr_neighbors()
     scorer = PairEntropyScorer.from_entropy(entropy)
     n = graph.num_nodes
-    if screen_size is None:
-        screen_size = max(8 * max_candidates, 64)
-    if block_rows is None:
-        # Cap the (B, N) float32 logit block at ~128 MB.
-        block_rows = int(min(1024, max(64, 32_000_000 // max(n, 1))))
-    # Stratified column sample for the seed quantile estimate (every n-th
-    # node); deterministic, so all shards and worker counts agree.
-    sample = np.unique(np.linspace(0, n - 1, min(n, 1024)).astype(np.int64))
+    screen_size, block_rows = default_screen_params(
+        n, max_candidates, screen_size, block_rows
+    )
+    sample = screen_sample(n)
     # The clamped symmetrised KL can dip a hair below zero (by at most
     # ``log2(1 + M * eps)``), so pad the structural upper bound for "kl".
     hs_max = 1.0 if entropy.structural_mode == "js" else 1.0 + 1e-9

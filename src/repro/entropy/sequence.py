@@ -538,22 +538,29 @@ def _build_sorted(
 
 def _build_screened(
     graph: Graph,
-    entropy: RelativeEntropy,
+    entropy: Optional[RelativeEntropy],
     max_candidates: int,
     num_workers: int = 1,
     executor: str = "thread",
     shard_plan: Optional[EntropyShardPlan] = None,
     screen_size: Optional[int] = None,
+    state_loader=None,
 ) -> EntropySequences:
     """Screen-then-rescore path: certified candidate pruning per shard.
 
     See :mod:`repro.entropy.screening` for the engine; rankings are
-    identical to the dense builders away from exact value ties.
+    identical to the dense builders away from exact value ties.  With
+    ``state_loader`` (out-of-core builds) the per-worker screening state
+    is assembled from a stored bundle instead of ``entropy``, which may
+    then be ``None`` — the sidecar already holds the same arrays, so the
+    results are byte-identical either way.
     """
     n = graph.num_nodes
-    state = build_screen_state(
-        graph, entropy, max_candidates, screen_size=screen_size
-    )
+    state = None
+    if state_loader is None:
+        state = build_screen_state(
+            graph, entropy, max_candidates, screen_size=screen_size
+        )
     if shard_plan is None:
         # Fixed over-decomposition: the plan must not depend on num_workers
         # or results would differ across worker counts (see the constant).
@@ -564,7 +571,12 @@ def _build_screened(
             f"got graph with N={n}"
         )
     results = run_sharded(
-        screen_shard, shard_plan.ranges(), num_workers, executor, state=state
+        screen_shard,
+        shard_plan.ranges(),
+        num_workers,
+        executor,
+        state=state,
+        state_loader=state_loader,
     )
 
     mc = max_candidates
@@ -578,7 +590,11 @@ def _build_screened(
         nbr_id_parts.append(nbr_ids)
         nbr_score_parts.append(nbr_scores)
 
-    indptr = state.indptr
+    indptr = (
+        state.indptr
+        if state is not None
+        else np.asarray(graph.csr_neighbors()[0], dtype=np.int64)
+    )
     flat_ids = (
         np.concatenate(nbr_id_parts) if indptr[-1] else np.empty(0, dtype=np.int64)
     )
@@ -602,7 +618,7 @@ def _build_screened(
 # ---------------------------------------------------------------------------
 def build_entropy_sequences(
     graph: Graph,
-    entropy: RelativeEntropy,
+    entropy: Optional[RelativeEntropy],
     max_candidates: int = 16,
     rng: Optional[np.random.Generator] = None,
     shuffle: bool = False,
@@ -612,6 +628,7 @@ def build_entropy_sequences(
     num_workers: int = 1,
     executor: str = "thread",
     shard_plan: Optional[EntropyShardPlan] = None,
+    state_loader=None,
 ) -> EntropySequences:
     """Rank every node's remote candidates and one-hop neighbours.
 
@@ -640,6 +657,15 @@ def build_entropy_sequences(
     path).  The sorted fast path ignores it: its row-block and column-tile
     sizes are fixed to keep the tiled structural kernel's scratch buffers
     cache-resident.
+
+    ``state_loader`` activates the out-of-core screened build: a
+    picklable zero-argument callable (usually a
+    :class:`repro.graph.storage.ScreenStateLoader`) that assembles each
+    worker's screening state from a stored bundle.  ``entropy`` may then
+    be ``None`` — the bundle's entropy sidecar holds the byte-exact same
+    arrays, so the sequences are identical to an in-RAM build with the
+    same engine parameters.  Requires the screened engine
+    (``screening`` must not be ``"off"``).
     """
     if max_candidates < 1:
         raise ValueError(f"max_candidates must be >= 1, got {max_candidates}")
@@ -650,6 +676,24 @@ def build_entropy_sequences(
     if num_workers < 1:
         raise ValueError(f"num_workers must be >= 1, got {num_workers}")
     tel = get_telemetry()
+    if state_loader is not None:
+        if screening == "off" or shuffle or H is not None:
+            raise ValueError(
+                "state_loader requires the screened engine "
+                "(screening='on'/'auto' without shuffle or provided rows)"
+            )
+        with tel.span(
+            "entropy.sequences", engine="screened-streamed", workers=num_workers
+        ):
+            return _build_screened(
+                graph,
+                entropy,
+                max_candidates,
+                num_workers=num_workers,
+                executor=executor,
+                shard_plan=shard_plan,
+                state_loader=state_loader,
+            )
     if shuffle:
         with tel.span("entropy.sequences", engine="reference"):
             return build_entropy_sequences_reference(

@@ -82,6 +82,7 @@ import scipy.sparse as sp
 from ..graph import Graph
 from ..graph.graph import _member_sorted
 from ..graph.normalize import gcn_norm, row_norm, two_hop_adjacency
+from ..graph.storage import MmapReleaser
 from ..telemetry import SIZE_BUCKETS, Counter, StatsView, get_telemetry
 from ..tensor import Tensor, ops
 from ..tensor.backends import active_backend
@@ -91,6 +92,7 @@ from .models import GAT, GCN, H2GCN, GraphSAGE, MixHop, _normalized_two_hop
 __all__ = [
     "HaloPlan",
     "IncrementalEvaluator",
+    "PropagationRowSource",
     "ScratchBuffers",
     "grow_halo",
     "install_propagation_caches",
@@ -225,10 +227,35 @@ def _gather_segments(
 
 def _neighbor_union(matrix: sp.csr_matrix, rows: np.ndarray) -> np.ndarray:
     """Unique column ids appearing in the CSR rows ``rows``."""
+    return _neighbor_union_csr(matrix.indptr, matrix.indices, rows)
+
+
+def _neighbor_union_csr(
+    indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray
+) -> np.ndarray:
+    """:func:`_neighbor_union` on raw CSR arrays — the form the
+    bundle-backed paths use so a gather never forces the full adjacency
+    matrix into existence."""
     if not len(rows):
         return np.empty(0, dtype=np.int64)
-    _, cols = _gather_segments(matrix.indptr, matrix.indices, rows)
+    _, cols = _gather_segments(indptr, indices, rows)
     return np.unique(cols)
+
+
+def _base_csr_arrays(base: Graph) -> Tuple[np.ndarray, np.ndarray]:
+    """``(indptr, indices)`` of ``base``'s adjacency for row gathers.
+
+    Bundle-backed graphs that have not materialised their adjacency serve
+    the stored CSR memmaps directly — a gather then faults in only the
+    pages the requested rows live on — while plain (or already
+    materialised) graphs hand out the cached matrix's arrays unchanged,
+    so every caller sees identical column ids either way.
+    """
+    indptr = getattr(base, "_bundle_indptr", None)
+    if indptr is not None and base._adj is None:
+        return indptr, base._bundle_indices
+    adj = base.adjacency()
+    return adj.indptr, adj.indices
 
 
 def _neighbor_mask(
@@ -306,9 +333,9 @@ def _new_row_pairs(graph: Graph, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarr
     """Row-major sorted ``(row, col)`` adjacency pairs of the *new* graph
     restricted to ``rows``, assembled from the base CSR plus the delta."""
     delta = graph.delta
-    base_adj = delta.base.adjacency()
+    base_indptr, base_indices = _base_csr_arrays(delta.base)
     nn = np.int64(graph.num_nodes)
-    r0, c0 = _gather_segments(base_adj.indptr, base_adj.indices, rows)
+    r0, c0 = _gather_segments(base_indptr, base_indices, rows)
     if delta.removed.shape[0] and r0.shape[0]:
         u = delta.removed // nn
         v = delta.removed % nn
@@ -727,6 +754,199 @@ def install_propagation_caches(
 
 
 # ---------------------------------------------------------------------------
+# Halo-aware row loading: propagation rows straight from a graph bundle
+# ---------------------------------------------------------------------------
+class PropagationRowSource:
+    """Serves base propagation-matrix rows from a graph's CSR pages.
+
+    A lazy, read-only stand-in for the cached full ``sp.csr_matrix`` in
+    the row-slice halo plans: ``source[rows]`` assembles the requested
+    (sorted unique) rows of ``gcn_norm`` / ``row_norm`` / the plain
+    adjacency from the graph's ``csr_neighbors()`` arrays plus its degree
+    vector.  On a bundle-backed :class:`~repro.graph.storage.MemmapGraph`
+    those arrays are the stored memmaps, so a gather faults in only the
+    CSR pages the requested rows live on — the dirty-row closure of an
+    edit, never ``O(E)``.  The float scaling replays the fresh build's
+    exact operations (:func:`_inv_sqrt_degrees` / :func:`_inv_degrees`
+    applied to the integer degrees, then one elementwise product), so
+    every served row is bitwise identical to the corresponding row of the
+    materialised matrix and :func:`_halo_matrix` accepts a source
+    anywhere it accepts the matrix itself.
+
+    Examples
+    --------
+    >>> mg = load_graph_bundle("cora.bundle")        # memmap-backed
+    >>> src = PropagationRowSource(mg, "gcn_norm")
+    >>> rows = np.array([3, 4, 17])                  # sorted unique ids
+    >>> np.array_equal(src[rows].data, gcn_norm(mg)[rows].data)
+    True
+    """
+
+    def __init__(self, graph: Graph, key: str) -> None:
+        if key not in ("adjacency", "gcn_norm", "row_norm"):
+            raise ValueError(
+                f"unsupported propagation key for row streaming: {key!r}"
+            )
+        self.graph = graph
+        self.key = key
+        self.shape = (graph.num_nodes, graph.num_nodes)
+        self._indptr, self._indices = graph.csr_neighbors()
+        deg = graph.degrees()
+        if key == "gcn_norm":
+            self._scale = _inv_sqrt_degrees(deg, add_self_loops=True)
+        elif key == "row_norm":
+            self._scale = _inv_degrees(deg, add_self_loops=False)
+        else:
+            self._scale = None
+
+    @property
+    def add_self_loops(self) -> bool:
+        """Whether served rows carry the spliced-in ``A + I`` diagonal."""
+        return self.key == "gcn_norm"
+
+    def __getitem__(self, rows: np.ndarray) -> sp.csr_matrix:
+        """The ``(len(rows), N)`` CSR slice of the full matrix's ``rows``
+        (sorted unique node ids), bitwise equal to ``full[rows]``."""
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        cols, lengths = self._gather(rows)
+        return self._assemble(rows, cols, lengths)
+
+    def row_block(self, lo: int, hi: int) -> sp.csr_matrix:
+        """Contiguous row range ``[lo, hi)`` — one CSR page read."""
+        return self[np.arange(lo, hi, dtype=np.int64)]
+
+    # -- internals -----------------------------------------------------
+    def _gather(
+        self, rows: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        indptr, indices = self._indptr, self._indices
+        if rows.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        starts = np.asarray(indptr[rows], dtype=np.int64)
+        ends = np.asarray(indptr[rows + 1], dtype=np.int64)
+        lengths = ends - starts
+        # Consecutive rows share one contiguous indices window; coalesce
+        # runs so a halo that is mostly contiguous costs few reads.
+        breaks = np.flatnonzero(rows[1:] != rows[:-1] + 1)
+        run_lo = np.r_[0, breaks + 1]
+        run_hi = np.r_[breaks, rows.size - 1]
+        parts = [
+            np.asarray(indices[starts[a]:ends[b]], dtype=np.int64)
+            for a, b in zip(run_lo, run_hi)
+        ]
+        cols = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        )
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("storage.rows_streamed", rows.size)
+            tel.count("storage.bytes_read", int(cols.nbytes))
+        return cols, lengths
+
+    def _assemble(
+        self, rows: np.ndarray, cols: np.ndarray, lengths: np.ndarray
+    ) -> sp.csr_matrix:
+        if self.add_self_loops and rows.size:
+            # Splice the diagonal entry into each row at its sorted slot —
+            # exactly where the fresh build's ``adj + I`` lands it.
+            entry_row = np.repeat(
+                np.arange(rows.size, dtype=np.int64), lengths
+            )
+            below = cols < np.repeat(rows, lengths)
+            counts = np.bincount(
+                entry_row[below], minlength=rows.size
+            ).astype(np.int64)
+            offsets = np.empty(rows.size, dtype=np.int64)
+            offsets[0] = 0
+            np.cumsum(lengths[:-1], out=offsets[1:])
+            cols = np.insert(cols, offsets + counts, rows)
+            lengths = lengths + 1
+        if self.key == "adjacency":
+            data = np.ones(cols.shape[0], dtype=np.float64)
+        elif self.key == "gcn_norm":
+            data = self._scale[np.repeat(rows, lengths)] * self._scale[cols]
+        else:  # row_norm
+            # The materialised ``row_norm`` (one ``diag @ csr`` product)
+            # stores each row's columns in *reverse*-sorted order — the
+            # linked-list traversal of scipy's csr matmul — and spmm
+            # accumulates in stored order, so the served rows replicate
+            # that order to keep downstream products bitwise identical.
+            # (``gcn_norm``'s two products reverse twice, back to sorted.)
+            if cols.size:
+                offsets = np.empty(rows.size, dtype=np.int64)
+                offsets[0] = 0
+                np.cumsum(lengths[:-1], out=offsets[1:])
+                rep_off = np.repeat(offsets, lengths)
+                rep_len = np.repeat(lengths, lengths)
+                idx = np.arange(cols.shape[0], dtype=np.int64)
+                cols = cols[2 * rep_off + rep_len - 1 - idx]
+            data = np.repeat(self._scale[rows], lengths)
+        indptr = np.empty(rows.size + 1, dtype=np.int64)
+        indptr[0] = 0
+        np.cumsum(lengths, out=indptr[1:])
+        return sp.csr_matrix(
+            (data, cols, indptr), shape=(rows.size, self.shape[1])
+        )
+
+
+def _chunked_rows(fn, array: np.ndarray, chunk_rows: int, release=None):
+    """Apply a row-wise dense map over ``array`` one row chunk at a time.
+
+    Row-blocked GEMMs reproduce the one-shot product bitwise on this
+    repo's BLAS (K-ordered accumulation; asserted by the property suite),
+    so the streamed base states stay on the exact contract while never
+    holding more than ``chunk_rows`` rows of a memmapped operand.
+    """
+    n = array.shape[0]
+    out = None
+    for lo in range(0, n, chunk_rows):
+        hi = min(lo + chunk_rows, n)
+        block = fn(array[lo:hi])
+        if out is None:
+            out = np.empty((n, block.shape[1]), dtype=block.dtype)
+        out[lo:hi] = block
+        if release is not None:
+            release.step()
+    return out
+
+
+def _streamed_spmm(
+    source: PropagationRowSource,
+    dense: np.ndarray,
+    chunk_rows: int,
+    transform=None,
+    release=None,
+) -> np.ndarray:
+    """``source @ dense`` assembled row block by row block.
+
+    CSR sparse-dense products are row-independent, so stitching
+    block-wise results reproduces the full product bitwise while only
+    one block of the propagation matrix exists at a time.  ``transform``
+    fuses a following dense row map (GraphSAGE's ``neigh1``) so the full
+    ``(N, d)`` neighbour aggregate never materialises either.
+    """
+    n = source.shape[0]
+    out = None
+    for lo in range(0, n, chunk_rows):
+        hi = min(lo + chunk_rows, n)
+        block = _spmm(source.row_block(lo, hi), dense)
+        if transform is not None:
+            block = transform(block)
+        if out is None:
+            out = np.empty((n, block.shape[1]), dtype=block.dtype)
+        out[lo:hi] = block
+        if release is not None:
+            release.step()
+    return out
+
+
+#: Row-chunk size of the streamed base-state builders: large enough to
+#: amortise per-block overhead, small enough that one block of features
+#: plus its CSR pages stays far below any sensible memory budget.
+STREAM_CHUNK_ROWS = 16_384
+
+
+# ---------------------------------------------------------------------------
 # Halo plans: per-backbone recipes for halo-restricted evaluation
 # ---------------------------------------------------------------------------
 class HaloPlan:
@@ -768,6 +988,16 @@ class HaloPlan:
     #: per-model-version state (GAT re-normalises every destination from
     #: cached attention ingredients instead of rerunning the transforms).
     dense_from_state = None
+
+    #: Optional hook: an out-of-core :meth:`base_state` twin taking
+    #: ``(model, graph)`` for bundle-backed graphs.  Row-slice plans (GCN,
+    #: GraphSAGE) build their state through :class:`PropagationRowSource`
+    #: and :func:`_streamed_spmm` so neither the propagation matrix nor
+    #: the feature matrix is ever fully resident; plans without one fall
+    #: back to :meth:`base_state`, which on a
+    #: :class:`~repro.graph.storage.MemmapGraph` still routes adjacency
+    #: materialisation through the chunked streaming build.
+    stream_base_state = None
 
     #: Whether a halo above ``max_halo_frac`` should fall back to the
     #: dense path.  Row-slice plans (GCN, GraphSAGE) keep ``True``;
@@ -912,6 +1142,27 @@ class _GCNPlan(HaloPlan):
         return {"a_hat": a_hat, "xw1": xw1, "z": z, "out": out}
 
     @staticmethod
+    def stream_base_state(model: GCN, graph: Graph) -> Dict[str, np.ndarray]:
+        """Out-of-core :meth:`base_state`: ``Â`` is served row-block by
+        row-block from the bundle CSR (and kept as a
+        :class:`PropagationRowSource` for the halo slices), features are
+        pushed through ``lin1`` in row chunks with their pages released
+        behind the cursor.  Bitwise equal to the in-RAM build — blocked
+        GEMMs and row-independent spmm stitch to the same bits."""
+        src = PropagationRowSource(graph, "gcn_norm")
+        release = MmapReleaser(gather=[graph.features, src._indices])
+        xw1 = _chunked_rows(
+            lambda b: model.lin1(Tensor(b)).data,
+            graph.features, STREAM_CHUNK_ROWS, release=release,
+        )
+        h1 = _streamed_spmm(src, xw1, STREAM_CHUNK_ROWS, release=release)
+        h1 *= h1 > 0
+        z = model.lin2(Tensor(h1)).data
+        out = _streamed_spmm(src, z, STREAM_CHUNK_ROWS, release=release)
+        release.flush()
+        return {"a_hat": src, "xw1": xw1, "z": z, "out": out}
+
+    @staticmethod
     def prepare(
         model: GNNBackbone, graph: Graph
     ) -> Tuple[np.ndarray, np.ndarray, dict]:
@@ -923,7 +1174,9 @@ class _GCNPlan(HaloPlan):
         # entry to both endpoint degrees).
         dirty = _union(
             touched,
-            _neighbor_union(delta.base.adjacency(), np.flatnonzero(change)),
+            _neighbor_union_csr(
+                *_base_csr_arrays(delta.base), np.flatnonzero(change)
+            ),
         )
         pairs = _new_row_pairs(graph, dirty)
         ctx = {"pairs": pairs, "deg": delta.base.degrees() + change}
@@ -973,6 +1226,37 @@ class _SAGEPlan(HaloPlan):
             + model.neigh2(Tensor(_spmm(m, h1))).data
         )
         return {"m": m, "s1x": s1x, "h1": h1, "out": out}
+
+    @staticmethod
+    def stream_base_state(
+        model: GraphSAGE, graph: Graph
+    ) -> Dict[str, np.ndarray]:
+        """Out-of-core :meth:`base_state`: the ``(N, d)`` neighbour
+        aggregate ``M X`` never materialises — each row block is fused
+        straight into ``neigh1`` — and ``M`` survives only as a
+        :class:`PropagationRowSource`.  Bitwise equal to the in-RAM
+        build (same blocked-GEMM argument as the GCN plan)."""
+        src = PropagationRowSource(graph, "row_norm")
+        release = MmapReleaser(gather=[graph.features, src._indices])
+        s1x = _chunked_rows(
+            lambda b: model.self1(Tensor(b)).data,
+            graph.features, STREAM_CHUNK_ROWS, release=release,
+        )
+        h1 = s1x + _streamed_spmm(
+            src, graph.features, STREAM_CHUNK_ROWS,
+            transform=lambda t: model.neigh1(Tensor(t)).data,
+            release=release,
+        )
+        h1 *= h1 > 0
+        out = (
+            model.self2(Tensor(h1)).data
+            + model.neigh2(
+                Tensor(_streamed_spmm(src, h1, STREAM_CHUNK_ROWS,
+                                      release=release))
+            ).data
+        )
+        release.flush()
+        return {"m": src, "s1x": s1x, "h1": h1, "out": out}
 
     @staticmethod
     def prepare(
@@ -1601,7 +1885,7 @@ class IncrementalEvaluator:
             key: Counter(f"incremental.{key}")
             for key in (
                 "base_hits", "halo_evals", "full_evals", "state_fulls",
-                "invalidations",
+                "stream_states", "invalidations",
             )
         }
         self.stats = StatsView(self._counters)
@@ -1618,7 +1902,16 @@ class IncrementalEvaluator:
 
     def _ensure_state(self) -> Dict[str, np.ndarray]:
         if self._state is None:
-            self._state = self._plan.base_state(self.model, self.base_graph)
+            stream = getattr(self._plan, "stream_base_state", None)
+            if stream is not None and getattr(
+                self.base_graph, "is_mmap", False
+            ):
+                self._bump("stream_states")
+                self._state = stream(self.model, self.base_graph)
+            else:
+                self._state = self._plan.base_state(
+                    self.model, self.base_graph
+                )
         return self._state
 
     def _eligible(self, graph: Graph) -> bool:

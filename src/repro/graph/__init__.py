@@ -17,11 +17,22 @@ from .io import load_edge_list, load_graph, save_edge_list, save_graph
 from .metrics import class_distribution, degree_statistics, homophily_ratio
 from .normalize import adjacency_from_matrix, gcn_norm, row_norm, two_hop_adjacency
 from .splits import Split, geom_gcn_splits, random_split
+from .storage import (
+    GraphBundle,
+    MemmapGraph,
+    ScreenStateLoader,
+    load_graph_bundle,
+    save_entropy_sidecar,
+    save_graph_bundle,
+)
 
 __all__ = [
     "Edge",
     "Graph",
+    "GraphBundle",
     "GraphDelta",
+    "MemmapGraph",
+    "ScreenStateLoader",
     "Split",
     "adjacency_from_matrix",
     "canonical_edge",
@@ -33,6 +44,9 @@ __all__ = [
     "largest_component",
     "load_edge_list",
     "load_graph",
+    "load_graph_bundle",
+    "save_entropy_sidecar",
+    "save_graph_bundle",
     "num_connected_components",
     "save_edge_list",
     "save_graph",

@@ -1,7 +1,25 @@
 """Graph persistence: a single-file ``.npz`` format plus plain edge lists.
 
-The npz layout stores the edge list, features and labels; it round-trips
+The npz layout stores the edge set, features and labels; it round-trips
 exactly and keeps synthetic datasets reusable across benchmark runs.
+
+Format versions
+---------------
+``version 1`` (legacy, no ``version`` field)
+    ``num_nodes`` plus a dense ``(E, 2)`` ``edges`` pair array.  Still
+    readable; never written anymore.
+``version 2`` (current)
+    ``num_nodes``, ``version`` and the sorted canonical ``edge_keys``
+    vector (``u * N + v`` with ``u < v``) — the graph's primary state
+    written as-is, so :func:`save_graph` no longer materialises the
+    dense pair view at all (``np.savez`` streams the array to the
+    archive in buffered chunks, which keeps memmap-backed key vectors
+    out of RAM).  Files claiming a newer version are rejected with a
+    clear error instead of being misread.
+
+For the out-of-core directory layout (per-array ``.npy`` files that
+``Graph`` can run on without loading), see
+:mod:`repro.graph.storage`.
 """
 
 from __future__ import annotations
@@ -13,15 +31,18 @@ import numpy as np
 
 from .graph import Graph
 
+#: Newest ``.npz`` layout version this build writes and understands.
+FORMAT_VERSION = 2
+
 
 def save_graph(graph: Graph, path: str) -> str:
     """Write ``graph`` to ``path`` (``.npz`` appended if missing)."""
     if not path.endswith(".npz"):
         path = path + ".npz"
-    edges = graph.edge_array().reshape(-1, 2)
     payload = {
+        "version": np.array([FORMAT_VERSION], dtype=np.int64),
         "num_nodes": np.array([graph.num_nodes], dtype=np.int64),
-        "edges": edges,
+        "edge_keys": np.asarray(graph.edge_keys(), dtype=np.int64),
     }
     if graph.features is not None:
         payload["features"] = graph.features
@@ -33,15 +54,48 @@ def save_graph(graph: Graph, path: str) -> str:
 
 
 def load_graph(path: str) -> Graph:
-    """Read a graph previously written by :func:`save_graph`."""
+    """Read a graph previously written by :func:`save_graph`.
+
+    Understands every layout up to :data:`FORMAT_VERSION`; files written
+    by a newer build raise ``ValueError`` rather than loading garbage.
+    """
     if not path.endswith(".npz"):
         path = path + ".npz"
     with np.load(path) as data:
+        version = int(data["version"][0]) if "version" in data else 1
+        if version > FORMAT_VERSION:
+            raise ValueError(
+                f"graph file {path!r} uses format version {version}, but "
+                f"this build reads at most version {FORMAT_VERSION}; "
+                "upgrade the library or re-export the graph"
+            )
         num_nodes = int(data["num_nodes"][0])
-        edges = [tuple(e) for e in data["edges"]]
         features = data["features"] if "features" in data else None
         labels = data["labels"] if "labels" in data else None
-    return Graph(num_nodes, edges, features=features, labels=labels)
+        if version >= 2:
+            keys = np.asarray(data["edge_keys"], dtype=np.int64)
+        else:
+            keys = _keys_from_pairs(data["edges"], num_nodes, path)
+    return Graph._from_keys(num_nodes, keys, features=features, labels=labels)
+
+
+def _keys_from_pairs(
+    edges: np.ndarray, num_nodes: int, path: str
+) -> np.ndarray:
+    """Canonical sorted keys from a legacy ``(E, 2)`` pair array —
+    vectorised (the v1 reader built a Python tuple list per edge)."""
+    pairs = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if pairs.size:
+        if pairs.min() < 0 or pairs.max() >= num_nodes:
+            raise ValueError(
+                f"graph file {path!r}: edge endpoint out of range "
+                f"[0, {num_nodes})"
+            )
+        if (pairs[:, 0] == pairs[:, 1]).any():
+            raise ValueError(f"graph file {path!r}: self-loop edge")
+    u = pairs.min(axis=1)
+    v = pairs.max(axis=1)
+    return np.unique(u * np.int64(num_nodes) + v)
 
 
 def save_edge_list(graph: Graph, path: str) -> str:

@@ -43,7 +43,10 @@ def test_save_results_roundtrip(tmp_path, monkeypatch):
     path = save_results("unit", {"x": 1.5})
     import json
 
-    assert json.load(open(path)) == {
+    envelope = json.load(open(path))
+    rss = envelope.pop("peak_rss_bytes")
+    assert rss is None or rss > 0
+    assert envelope == {
         "schema": "repro-bench/v2", "bench": "unit",
         "telemetry": None, "results": {"x": 1.5},
     }
@@ -64,6 +67,54 @@ def test_save_results_embeds_telemetry_snapshot(tmp_path, monkeypatch):
     envelope = json.load(open(path))
     assert envelope["telemetry"]["counters"]["bench.cases"] == 3
     assert envelope["results"] == {"x": 1.5}
+
+
+# ---------------------------------------------------------------------------
+# Peak RSS
+# ---------------------------------------------------------------------------
+def test_peak_rss_bytes_getrusage_path():
+    from repro.bench.harness import peak_rss_bytes
+
+    rss = peak_rss_bytes()
+    assert rss is not None
+    # A live Python process holds at least a few MB and (sanely) < 1 TB.
+    assert 1 << 20 < rss < 1 << 40
+
+
+def test_peak_rss_bytes_matches_getrusage_units():
+    import resource
+
+    from repro.bench.harness import peak_rss_bytes
+
+    expected_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    assert peak_rss_bytes() == expected_kb * 1024
+
+
+def test_vmhwm_fallback_parser():
+    from repro.bench.harness import _parse_vmhwm_kb
+
+    status = "Name:\tpython\nVmPeak:\t  999 kB\nVmHWM:\t  123456 kB\n"
+    assert _parse_vmhwm_kb(status) == 123456
+    assert _parse_vmhwm_kb("Name:\tpython\n") is None
+    assert _parse_vmhwm_kb("VmHWM:\tgarbage kB\n") is None
+
+
+def test_vmhwm_fallback_agrees_with_proc(monkeypatch):
+    """Exercise the /proc fallback end to end by hiding ``resource``."""
+    import builtins
+
+    import repro.bench.harness as harness
+
+    real_import = builtins.__import__
+
+    def no_resource(name, *args, **kwargs):
+        if name == "resource":
+            raise ImportError("resource disabled for test")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "__import__", no_resource)
+    rss = harness.peak_rss_bytes()
+    assert rss is not None and rss > 1 << 20
 
 
 # ---------------------------------------------------------------------------

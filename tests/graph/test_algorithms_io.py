@@ -169,6 +169,56 @@ def test_npz_roundtrip_without_attributes(tmp_path):
     assert loaded.labels is None
 
 
+def test_npz_writes_current_format_version(tmp_path):
+    from repro.graph.io import FORMAT_VERSION
+
+    g = two_components()
+    path = save_graph(g, str(tmp_path / "graph"))
+    data = np.load(path)
+    assert int(data["version"][0]) == FORMAT_VERSION == 2
+    # v2 persists the sorted canonical keys, never the (E, 2) pair view.
+    assert "edge_keys" in data.files and "edges" not in data.files
+    np.testing.assert_array_equal(data["edge_keys"], g.edge_keys())
+
+
+def test_npz_rejects_future_format_version(tmp_path):
+    from repro.graph.io import FORMAT_VERSION
+
+    g = two_components()
+    path = save_graph(g, str(tmp_path / "graph"))
+    data = dict(np.load(path))
+    data["version"] = np.array([FORMAT_VERSION + 1])
+    future = tmp_path / "future.npz"
+    np.savez(future, **data)
+    with pytest.raises(ValueError, match="format version"):
+        load_graph(str(future))
+
+
+def test_npz_reads_v1_pair_layout(tmp_path):
+    g = two_components()
+    legacy = tmp_path / "legacy.npz"
+    np.savez(
+        legacy,
+        num_nodes=np.array([g.num_nodes]),
+        edges=g.edge_array(),
+        features=g.features,
+        labels=g.labels,
+    )
+    loaded = load_graph(str(legacy))
+    assert loaded == g
+
+
+def test_npz_v1_validates_pairs(tmp_path):
+    bad = tmp_path / "bad.npz"
+    np.savez(bad, num_nodes=np.array([3]), edges=np.array([[0, 5]]))
+    with pytest.raises(ValueError, match="out of range"):
+        load_graph(str(bad))
+    loops = tmp_path / "loops.npz"
+    np.savez(loops, num_nodes=np.array([3]), edges=np.array([[1, 1]]))
+    with pytest.raises(ValueError, match="self-loop"):
+        load_graph(str(loops))
+
+
 def test_edge_list_roundtrip(tmp_path):
     g = two_components()
     path = save_edge_list(g, str(tmp_path / "edges.txt"))

@@ -153,3 +153,55 @@ def test_absorb_remaps_colliding_span_ids():
     a.absorb(b.export_state())
     ids = [s["id"] for s in a.spans]
     assert len(ids) == len(set(ids)) == 2
+
+
+def _storage_hot_path(tmp_path):
+    """Drive every instrumented out-of-core path once; return its outputs."""
+    import numpy as np
+
+    from repro.datasets import planted_partition_graph
+    from repro.entropy import RelativeEntropy
+    from repro.graph.storage import (
+        ScreenStateLoader,
+        load_graph_bundle,
+        save_entropy_sidecar,
+        save_graph_bundle,
+    )
+
+    g = planted_partition_graph(num_nodes=30, num_classes=3, seed=0)
+    path = str(tmp_path / "bundle")
+    save_graph_bundle(g, path)
+    save_entropy_sidecar(path, RelativeEntropy.from_graph(g, lam=1.0))
+    mg = load_graph_bundle(path)
+    mg.csr_row_slice(0, 10)
+    mg.edge_key_slice(0, 10)
+    mg.adjacency()
+    ScreenStateLoader(path, max_candidates=4)()
+    return np.asarray(mg.edge_keys())
+
+
+def test_storage_instrumentation_disabled_is_pure_noop(tmp_path):
+    # The default session is the disabled singleton: the whole storage
+    # hot path (save, load, slices, materialise, shard-state load) must
+    # leave it untouched — no spans, no registered instruments.
+    assert get_telemetry() is NULL_TELEMETRY
+    _storage_hot_path(tmp_path)
+    assert NULL_TELEMETRY.spans == []
+    assert NULL_TELEMETRY.registry.counters == {}
+    assert NULL_TELEMETRY.registry.histograms == {}
+    assert NULL_TELEMETRY.registry.gauges == {}
+
+
+def test_storage_instrumentation_enabled_records(tmp_path):
+    tel = Telemetry(enabled=True)
+    with use_telemetry(tel):
+        _storage_hot_path(tmp_path)
+    counters = tel.registry.counters
+    assert counters["storage.bytes_written"].value > 0
+    assert counters["storage.bytes_read"].value > 0
+    assert counters["storage.rows_streamed"].value >= 20
+    assert counters["storage.shard_loads"].value == 1
+    assert counters["storage.materialize.adjacency"].value == 1
+    assert tel.registry.histograms["io.read_s"].count >= 1
+    names = {s["name"] for s in tel.spans}
+    assert {"storage.save", "storage.load", "storage.state_load"} <= names

@@ -130,3 +130,62 @@ def test_stats_rejects_invalid_stream(tmp_path, capsys):
     assert main(["stats", str(bad)]) == 1
     assert "schema error" in capsys.readouterr().err.lower()
     assert main(["stats", str(tmp_path / "missing.jsonl")]) == 2
+
+
+def _make_bundle(tmp_path):
+    from repro.datasets import load_dataset
+    from repro.graph import save_graph_bundle
+
+    graph = load_dataset("texas", scale=0.5, seed=0)
+    path = str(tmp_path / "bundle")
+    save_graph_bundle(graph, path)
+    return graph, path
+
+
+def test_rewire_graph_bundle(tmp_path, capsys):
+    graph, path = _make_bundle(tmp_path)
+    code = main([
+        "rewire", "--graph-bundle", path, "--k", "2", "--d", "1",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "homophily" in out
+    # The sidecar is written on first use and reused (lam must match).
+    from repro.graph.storage import entropy_sidecar_meta
+
+    assert entropy_sidecar_meta(path)["lam"] == 1.0
+    assert main(["rewire", "--graph-bundle", path, "--k", "1", "--d", "0"]) == 0
+    with pytest.raises(ValueError, match="lam"):
+        main(["rewire", "--graph-bundle", path, "--k", "1", "--d", "0",
+              "--lam", "2.0"])
+
+
+def test_rewire_bundle_matches_dataset_rewire(tmp_path, capsys):
+    # Same graph, same flags: the streamed bundle path and the classic
+    # in-RAM dataset path must print the identical rewiring analysis.
+    _, path = _make_bundle(tmp_path)
+    assert main(["rewire", "--graph-bundle", path, "--k", "2", "--d", "1"]) == 0
+    streamed = capsys.readouterr().out
+    assert main(["rewire", "--dataset", "texas", "--scale", "0.5",
+                 "--k", "2", "--d", "1", "--screening", "on"]) == 0
+    in_ram = capsys.readouterr().out
+    assert streamed == in_ram
+
+
+def test_run_graph_bundle_streams(tmp_path, capsys):
+    _, path = _make_bundle(tmp_path)
+    code = main([
+        "run", "--graph-bundle", path, "--backbone", "gcn",
+        "--episodes", "1", "--horizon", "2", "--k-max", "2", "--d-max", "2",
+        "--incremental-reward",
+    ])
+    assert code == 0
+    assert "mean over 1 split" in capsys.readouterr().out
+
+
+def test_dataset_and_bundle_flags_are_exclusive(tmp_path, capsys):
+    _, path = _make_bundle(tmp_path)
+    assert main(["rewire", "--dataset", "texas", "--graph-bundle", path]) == 2
+    assert "not both" in capsys.readouterr().err
+    assert main(["rewire"]) == 2
+    assert "one of --dataset or --graph-bundle" in capsys.readouterr().err
