@@ -1,6 +1,6 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test doclint bench-smoke bench-scaling bench-rollout bench-entropy bench-reward bench-halo bench-backend bench-telemetry bench-out-of-core
+.PHONY: test doclint bench-smoke bench-scaling bench-rollout bench-entropy bench-reward bench-halo bench-backend bench-telemetry bench-out-of-core bench-serving bench-compare serve-smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -9,7 +9,7 @@ test:
 # symbol of repro.gnn must carry a docstring.  Mirrored in the tier-1
 # suite (tests/gnn/test_docstrings.py) and run as a CI step.
 doclint:
-	python tools/doclint.py src/repro/gnn src/repro/tensor src/repro/telemetry
+	python tools/doclint.py src/repro/gnn src/repro/tensor src/repro/telemetry src/repro/serve
 
 # Fast sanity run (< 90 s): the CSR scaling benchmark at small N (asserts
 # the >= 5x speedup contract) plus small-N passes of both incremental
@@ -67,6 +67,23 @@ bench-backend:
 # informational enabled/disabled macro ratio; JSON into bench_results/.
 bench-telemetry:
 	$(PY) benchmarks/bench_telemetry_overhead.py
+
+# Rewiring service under 64 concurrent clients: micro-batched server vs
+# the same server pinned to max_batch=1 (serial per-request baseline).
+# Byte-identity of batched scores is verified before timing; asserts the
+# >= 3x throughput contract and writes JSON into bench_results/.
+bench-serving:
+	$(PY) benchmarks/bench_serving.py
+
+# Diff two repro-bench/v2 result envelopes (old new); exits non-zero on
+# regressions beyond the threshold (see tools/bench_compare.py --help).
+bench-compare:
+	$(PY) tools/bench_compare.py $(OLD) $(NEW)
+
+# Boot a server, drive 16 concurrent clients, validate serve.* telemetry
+# and a clean shutdown — the CI smoke for the serving layer.
+serve-smoke:
+	$(PY) tools/serve_smoke.py
 
 # Out-of-core pipeline from a memmapped graph bundle vs the in-RAM twin
 # at N = 100k: byte-identical screening/rewire/reward outputs, streamed

@@ -1,16 +1,21 @@
 """Command-line interface for the GraphRARE reproduction.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro info    --dataset cornell [--scale 0.6]
     python -m repro run     --dataset cornell --backbone gcn [options]
     python -m repro rewire  --dataset cornell --k 2 --d 1 [--out graph.npz]
-    python -m repro stats   run.jsonl
+    python -m repro serve   [--port 8473 | --unix /tmp/repro.sock]
+    python -m repro stats   run.jsonl | bench_results/name.json
 
 ``info`` prints dataset statistics, ``run`` executes the full GraphRARE
 pipeline and reports backbone-vs-RARE accuracy, ``rewire`` performs a
-static entropy-guided rewiring and optionally saves the result, and
-``stats`` validates a telemetry JSONL stream and renders its run report.
+static entropy-guided rewiring and optionally saves the result,
+``serve`` starts the long-lived rewiring service (NDJSON over TCP or a
+unix socket; see ``docs/serving.md``), and ``stats`` renders telemetry:
+either a JSONL event stream (validated against the schema) or a
+``repro-bench/v2`` result envelope with its embedded metric snapshot —
+both render interpolated p50/p90/p99 columns for every histogram.
 ``run`` and ``rewire`` accept ``--telemetry[=PATH]`` to record spans and
 metrics (in memory, or streamed to ``PATH``; see
 ``docs/observability.md``).
@@ -30,6 +35,7 @@ from .entropy import RelativeEntropy, build_entropy_sequences
 from .graph import degree_statistics, geom_gcn_splits, homophily_ratio, save_graph
 from .telemetry import (
     report_from_events,
+    report_from_snapshot,
     telemetry_from_spec,
     use_telemetry,
     validate_lines,
@@ -126,11 +132,37 @@ def build_parser() -> argparse.ArgumentParser:
     add_entropy_engine_args(rewire)
     add_telemetry_arg(rewire)
 
+    serve = sub.add_parser(
+        "serve", help="start the long-lived rewiring service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8473,
+                       help="TCP port (0 lets the OS pick; the bound "
+                            "address is printed on startup)")
+    serve.add_argument("--unix", default=None, metavar="PATH",
+                       help="serve on a unix domain socket instead of TCP")
+    serve.add_argument("--max-batch", type=int, default=16,
+                       help="most concurrent requests fused into one "
+                            "block-diagonal forward (default 16)")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="micro-batch collection window after the "
+                            "first request arrives (default 2.0)")
+    serve.add_argument("--max-queue", type=int, default=256,
+                       help="intake queue bound; beyond it requests are "
+                            "shed with retry_after_ms (default 256)")
+    serve.add_argument("--max-sessions", type=int, default=8,
+                       help="open sessions kept before LRU eviction")
+    serve.add_argument("--memo-entries", type=int, default=256,
+                       help="per-session (k, d) rewire-memo capacity")
+    add_telemetry_arg(serve)
+
     stats = sub.add_parser(
-        "stats", help="validate and render a telemetry JSONL stream"
+        "stats", help="render telemetry: a JSONL stream or a "
+                      "repro-bench/v2 result envelope"
     )
     stats.add_argument("path", help="telemetry event log written by "
-                                    "--telemetry PATH")
+                                    "--telemetry PATH, or a bench "
+                                    "envelope from bench_results/")
     return parser
 
 
@@ -290,15 +322,89 @@ def _bundle_state_loader(graph, path: str, lam: float, max_candidates: int):
     return ScreenStateLoader(path, max_candidates=max_candidates)
 
 
+def cmd_serve(args) -> int:
+    """Run the rewiring service until a ``shutdown`` request or Ctrl-C."""
+    import asyncio
+
+    from .serve import RewiringServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_queue=args.max_queue,
+        max_sessions=args.max_sessions,
+        memo_entries=args.memo_entries,
+    )
+    # A service's ``stats`` op is a first-class feature, so metrics
+    # default ON here (in-memory; the disabled-path budget is moot for
+    # a process that exists to be observed).  ``--telemetry off`` still
+    # disables, any PATH still streams JSONL.
+    tel = telemetry_from_spec(
+        args.telemetry if args.telemetry is not None else "on",
+        run={"command": "serve"},
+    )
+
+    async def _run() -> None:
+        server = RewiringServer(config, tel=tel)
+        await server.start()
+        if config.unix_path is not None:
+            print(f"serving on unix:{config.unix_path}")
+        else:
+            host, port = server.address
+            print(f"serving on {host}:{port}")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    with use_telemetry(tel):
+        try:
+            asyncio.run(_run())
+        except KeyboardInterrupt:
+            print("\ninterrupted; shut down cleanly")
+    _finish_telemetry(tel)
+    return 0
+
+
 def cmd_stats(args) -> int:
-    """Validate a telemetry JSONL stream and print its run report."""
+    """Render telemetry: a JSONL stream or a repro-bench/v2 envelope."""
+    import json
+
     try:
         with open(args.path) as fh:
-            lines = fh.read().splitlines()
+            text = fh.read()
     except OSError as exc:
         print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
         return 2
-    events, errors = validate_lines(lines)
+
+    envelope = None
+    if text.lstrip().startswith("{"):
+        # A bench envelope is one JSON document; a JSONL stream is one
+        # event per line, so only the former parses as a whole.
+        try:
+            doc = json.loads(text)
+            if isinstance(doc, dict) and doc.get("schema") == "repro-bench/v2":
+                envelope = doc
+        except json.JSONDecodeError:
+            pass
+    if envelope is not None:
+        name = envelope.get("bench", "?")
+        print(f"bench envelope: {name} (schema {envelope['schema']})")
+        rss = envelope.get("peak_rss_bytes")
+        if rss:
+            print(f"peak rss      : {rss / 1e6:.1f} MB")
+        print()
+        snapshot = envelope.get("telemetry")
+        if snapshot:
+            print(report_from_snapshot(snapshot, title=f"telemetry [{name}]"))
+        else:
+            print("(no telemetry snapshot embedded)")
+        return 0
+
+    events, errors = validate_lines(text.splitlines())
     if errors:
         for err in errors:
             print(f"schema error: {err}", file=sys.stderr)
@@ -313,6 +419,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "info": cmd_info,
         "run": cmd_run,
         "rewire": cmd_rewire,
+        "serve": cmd_serve,
         "stats": cmd_stats,
     }
     return handlers[args.command](args)

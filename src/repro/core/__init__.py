@@ -11,6 +11,7 @@ from .env import (
     observation_template,
 )
 from .framework import GraphRARE, RareResult
+from .lru import LRUCache
 from .rewire import (
     clamp_state,
     clamp_state_batch,
@@ -23,6 +24,7 @@ from .temporal import TemporalGraphRARE, TemporalRareResult, drifting_snapshots
 
 __all__ = [
     "GraphRARE",
+    "LRUCache",
     "OBS_DIM",
     "RareConfig",
     "RareResult",

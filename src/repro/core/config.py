@@ -72,6 +72,13 @@ class RareConfig:
     state-reusing dense path (GAT) still evaluate from the cached
     per-model-version state on fallback."""
 
+    rewire_memo_entries: int = 64
+    """Bound of the per-env ``(k, d)`` -> Graph rewire memo
+    (:class:`repro.core.lru.LRUCache`).  Each entry pins a Graph plus its
+    cached propagation matrices; the vectorized env scales the bound by
+    ``num_envs``, and the serving layer reuses the same knob for its
+    per-session caches."""
+
     # --- co-training loop (Algorithm 1) --------------------------------
     episodes: int = 6
     """PPO episodes; each episode is ``horizon`` topology steps."""
@@ -163,6 +170,11 @@ class RareConfig:
         if self.num_workers < 1:
             raise ValueError(
                 f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.rewire_memo_entries < 1:
+            raise ValueError(
+                f"rewire_memo_entries must be >= 1, got "
+                f"{self.rewire_memo_entries}"
             )
         if not 0.0 <= self.max_halo_frac <= 1.0:
             raise ValueError(

@@ -17,7 +17,6 @@ for a few more epochs on the current topology with early stopping.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
@@ -27,8 +26,9 @@ from ..gnn import GNNBackbone, IncrementalEvaluator, Trainer, evaluate
 from ..graph import Graph, Split, homophily_ratio
 from ..nn import macro_auc
 from ..rl import Env, MultiDiscreteSpace
-from ..telemetry import Counter, StatsView, get_telemetry
+from ..telemetry import get_telemetry
 from .config import RareConfig
+from .lru import LRUCache
 from .rewire import clamp_state, rewire_graph
 
 #: Features per node row in the observation.
@@ -184,18 +184,19 @@ class TopologyEnv(Env):
         self.current_graph: Graph = graph
         self.history: list[Dict[str, float]] = []
         self._steps_total = 0
-        self._rewire_cache: "OrderedDict[bytes, Graph]" = OrderedDict()
-        # Memo accounting lives in telemetry counters: per-env private
-        # instances (exact per-instance numbers, zero global state) that
-        # ``_memo_count`` mirrors into the active session's shared
-        # ``env.rewire_memo.*`` aggregates.  ``_rewire_hits`` and
-        # ``_rewire_misses`` stay available as read-only properties.
+        # The (k, d) -> Graph memo is a shared LRUCache: per-env exact
+        # hit/miss/eviction accounting behind ``rewire_memo_stats``,
+        # mirrored into the active session's ``env.rewire_memo.*``
+        # aggregates.  ``_rewire_hits`` and ``_rewire_misses`` stay
+        # available as read-only properties.
         self._tel = get_telemetry()
-        self._memo_counters = {
-            key: Counter(f"env.rewire_memo.{key}")
-            for key in ("hits", "misses", "evictions")
-        }
-        self.rewire_memo_stats = StatsView(self._memo_counters)
+        self.REWIRE_CACHE_LIMIT = config.rewire_memo_entries
+        self._rewire_cache = LRUCache(
+            self.REWIRE_CACHE_LIMIT,
+            counter_prefix="env.rewire_memo",
+            tel=self._tel,
+        )
+        self.rewire_memo_stats = self._rewire_cache.stats
         # Optional incremental reward engine: delta-patched propagation
         # matrices + halo-restricted forwards against cached base logits,
         # for every backbone with a registered halo plan (GCN, GraphSAGE,
@@ -217,20 +218,15 @@ class TopologyEnv(Env):
         self.reset()
 
     # ------------------------------------------------------------------
-    def _memo_count(self, key: str) -> None:
-        """Bump a rewire-memo counter and mirror it into the session."""
-        self._memo_counters[key].inc()
-        self._tel.count(f"env.rewire_memo.{key}")
-
     @property
     def _rewire_hits(self) -> int:
         """Back-compat integer view of the memo hit counter."""
-        return self._memo_counters["hits"].value
+        return self._rewire_cache.hits
 
     @property
     def _rewire_misses(self) -> int:
         """Back-compat integer view of the memo miss counter."""
-        return self._memo_counters["misses"].value
+        return self._rewire_cache.misses
 
     def _metrics(self, graph: Graph) -> Tuple[float, float]:
         """Eval-mode (score, loss) on the training nodes (Alg. 1 line 9)."""
@@ -292,9 +288,11 @@ class TopologyEnv(Env):
         self.history = []
         self._steps_total = 0
 
-    #: Entries kept in the (k, d) -> Graph memo.  Each entry pins a Graph
-    #: plus whatever propagation matrices the GNN caches on it, so the
-    #: bound is deliberately small: large enough to cover the states of a
+    #: Class-level default for the (k, d) -> Graph memo bound (the
+    #: instance attribute is initialised from
+    #: ``RareConfig.rewire_memo_entries``).  Each entry pins a Graph plus
+    #: whatever propagation matrices the GNN caches on it, so the bound
+    #: is deliberately small: large enough to cover the states of a
     #: typical run (episodes * horizon), small enough that exploratory
     #: policies (which rarely revisit a 2N-dimensional state) cannot grow
     #: memory without bound.
@@ -307,14 +305,13 @@ class TopologyEnv(Env):
         result depends only on the clamped state — an episode that revisits
         a state (all-keep actions, oscillating policies) reuses the exact
         Graph object, and with it every propagation matrix cached on it.
-        Eviction is LRU: a hit refreshes the entry's recency, so hot
-        ``(k, d)`` states survive even when they were inserted early, and
-        the memo never resets wholesale.
+        The memo is a :class:`~repro.core.lru.LRUCache`: a hit refreshes
+        the entry's recency, so hot ``(k, d)`` states survive even when
+        they were inserted early, and the memo never resets wholesale.
         """
         key = k.tobytes() + d.tobytes()
         graph = self._rewire_cache.get(key)
         if graph is None:
-            self._memo_count("misses")
             with self._tel.span("env.rewire", hist="rl.rewire_s"):
                 graph = rewire_graph(
                     self.base_graph,
@@ -324,13 +321,9 @@ class TopologyEnv(Env):
                     add_edges=self.config.add_edges,
                     remove_edges=self.config.remove_edges,
                 )
-            while len(self._rewire_cache) >= self.REWIRE_CACHE_LIMIT:
-                self._rewire_cache.popitem(last=False)
-                self._memo_count("evictions")
-            self._rewire_cache[key] = graph
-        else:
-            self._memo_count("hits")
-            self._rewire_cache.move_to_end(key)
+            self._rewire_cache.put(
+                key, graph, capacity=self.REWIRE_CACHE_LIMIT
+            )
         return graph
 
     def step(self, action: np.ndarray) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:

@@ -19,10 +19,12 @@ still works.
 from .base import VecEnv
 from .buffer import BatchedRolloutBuffer
 from .rollout import collect_vectorized_rollout
+from .stacked import StackedGraphBuilder
 from .sync import SyncVecEnv
 
 __all__ = [
     "BatchedRolloutBuffer",
+    "StackedGraphBuilder",
     "SyncVecEnv",
     "VecEnv",
     "VecTopologyEnv",

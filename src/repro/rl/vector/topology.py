@@ -40,30 +40,24 @@ evaluation at batch width.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ...core.env import (
-    TopologyEnv,
     fill_observation,
     observation_template,
     reward_metrics,
 )
+from ...core.lru import LRUCache
 from ...core.rewire import clamp_state_batch, rewire_graph, state_bounds
 from ...gnn.incremental import IncrementalEvaluator
-from ...graph import Graph, GraphDelta, homophily_ratio
+from ...graph import Graph, homophily_ratio
 from ...nn import macro_auc
-from ...telemetry import Counter, StatsView, get_telemetry
-from ...tensor import Tensor
+from ...telemetry import get_telemetry
 from ..env import MultiDiscreteSpace
 from .base import VecEnv
-
-#: Stacked block-diagonal graphs kept alive (with their cached propagation
-#: matrices).  Keys hold strong references to the per-episode graphs, so
-#: ``id``-based keying stays valid for the lifetime of an entry.
-STACKED_CACHE_LIMIT = 16
+from .stacked import STACKED_CACHE_LIMIT, StackedGraphBuilder
 
 
 class VecTopologyEnv(VecEnv):
@@ -135,37 +129,39 @@ class VecTopologyEnv(VecEnv):
         self._stacked_labels = (
             np.tile(graph.labels, B) if graph.labels is not None else None
         )
-        self._stacked_cache: Dict[tuple, tuple] = {}
 
         # --- shared cross-env/cross-episode rewire memo ---------------
-        # Accounting mirrors the sequential env: private per-instance
-        # telemetry counters behind a StatsView, mirrored into the active
-        # session's ``env.rewire_memo.*`` aggregates; ``_rewire_hits`` /
-        # ``_rewire_misses`` remain as read-only properties.
-        self._rewire_cache: "OrderedDict[bytes, Graph]" = OrderedDict()
-        self._rewire_cache_limit = TopologyEnv.REWIRE_CACHE_LIMIT * self.num_envs
+        # One shared LRUCache (repro.core.lru) with the sequential env's
+        # accounting: per-instance counters behind ``rewire_memo_stats``,
+        # mirrored into the active session's ``env.rewire_memo.*``
+        # aggregates; ``_rewire_hits`` / ``_rewire_misses`` remain as
+        # read-only properties.  ``_rewire_cache_limit`` stays a mutable
+        # attribute (tests shrink it post-construction) and is passed per
+        # ``put`` call.
         self._tel = get_telemetry()
-        self._memo_counters = {
-            key: Counter(f"env.rewire_memo.{key}")
-            for key in ("hits", "misses", "evictions")
-        }
-        self.rewire_memo_stats = StatsView(self._memo_counters)
+        self._rewire_cache_limit = config.rewire_memo_entries * self.num_envs
+        self._rewire_cache = LRUCache(
+            self._rewire_cache_limit,
+            counter_prefix="env.rewire_memo",
+            tel=self._tel,
+        )
+        self.rewire_memo_stats = self._rewire_cache.stats
 
         # --- incremental reward engine --------------------------------
         # One evaluator over the delta root (the base graph, or the graph
         # it was derived from — rewire deltas collapse to the root) for
-        # per-episode scoring, and one over the block-diagonal stacked
-        # root for the batched forward; both patch matrices /
-        # halo-evaluate from the per-episode deltas the rewire engine
+        # per-episode scoring, and per-width stacked evaluators inside the
+        # StackedGraphBuilder for the batched forward; both patch matrices
+        # / halo-evaluate from the per-episode deltas the rewire engine
         # records, for any backbone with a registered halo plan (GCN,
         # GraphSAGE, GAT, H2GCN, MixHop, user plans) — no backbone gate;
-        # plan-less backbones fall back inside the evaluator.  The stacked root (B copies of its edge keys) and its
-        # evaluator are built lazily on the first stacked evaluation —
-        # reward_batching="loop" never pays for them.
+        # plan-less backbones fall back inside the evaluator.  The stacked
+        # root (B copies of its edge keys) and its evaluator are built
+        # lazily on the first stacked evaluation — reward_batching="loop"
+        # never pays for them.
         self._delta_root: Graph = (
             graph.delta.base if graph.delta is not None else graph
         )
-        self._stacked_base_graph: Optional[Graph] = None
         self._inc: Optional[IncrementalEvaluator] = (
             IncrementalEvaluator(
                 model, self._delta_root,
@@ -174,7 +170,13 @@ class VecTopologyEnv(VecEnv):
             if config.incremental_reward
             else None
         )
-        self._inc_stacked: Optional[IncrementalEvaluator] = None
+        self._stack = StackedGraphBuilder(
+            graph, model, max_width=B,
+            incremental=self._inc is not None,
+            max_halo_frac=config.max_halo_frac,
+            cache_limit=STACKED_CACHE_LIMIT,
+        )
+        self._stack.set_tiled(B, self._stacked_features, self._stacked_labels)
 
         # --- global co-training record (one shared model) -------------
         self.best_acc = 0.0
@@ -208,20 +210,15 @@ class VecTopologyEnv(VecEnv):
     # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
-    def _memo_count(self, key: str) -> None:
-        """Bump a rewire-memo counter and mirror it into the session."""
-        self._memo_counters[key].inc()
-        self._tel.count(f"env.rewire_memo.{key}")
-
     @property
     def _rewire_hits(self) -> int:
         """Back-compat integer view of the memo hit counter."""
-        return self._memo_counters["hits"].value
+        return self._rewire_cache.hits
 
     @property
     def _rewire_misses(self) -> int:
         """Back-compat integer view of the memo miss counter."""
-        return self._memo_counters["misses"].value
+        return self._rewire_cache.misses
 
     def _metrics_single(self, graph: Graph) -> Tuple[float, float]:
         """Sequential-env-identical (score, loss) for one episode graph."""
@@ -243,127 +240,30 @@ class VecTopologyEnv(VecEnv):
         return cache[1], cache[2]
 
     def _stacked_graph(self, graphs: List[Graph]) -> Graph:
-        """Block-diagonal union of the per-episode graphs.
-
-        Episode ``b``'s nodes occupy ids ``[b * N, (b + 1) * N)``; no edges
-        cross blocks, so any propagation matrix of the union is the
-        block-diagonal of the per-episode ones and one forward scores all
-        episodes.  Cached FIFO on per-episode graph identity — the rewire
-        memo hands back shared objects, so repeated batch states (and their
-        propagation matrices) are free.
-        """
-        key = tuple(map(id, graphs))
-        hit = self._stacked_cache.get(key)
-        if hit is not None:
-            return hit[1]
-        n = self.base_graph.num_nodes
-        parts = []
-        for b, g in enumerate(graphs):
-            ea = g.edge_array()
-            if ea.shape[0]:
-                parts.append(self._block_offset_keys(ea[:, 0], ea[:, 1], b))
-        keys = (
-            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
-        )
-        stacked = Graph._from_keys(
-            self.num_envs * n, keys, self._stacked_features,
-            self._stacked_labels,
-        )
-        if self._inc is not None:
-            self._attach_stacked_delta(stacked, graphs)
-        while len(self._stacked_cache) >= STACKED_CACHE_LIMIT:
-            self._stacked_cache.pop(next(iter(self._stacked_cache)))
-        # The entry pins the per-episode graphs, keeping the id-key valid.
-        self._stacked_cache[key] = (list(graphs), stacked)
-        return stacked
-
-    def _block_offset_keys(
-        self, u: np.ndarray, v: np.ndarray, block: int
-    ) -> np.ndarray:
-        """Canonical keys of edges ``(u, v)`` placed in block ``block`` of
-        the ``B * N`` block-diagonal id space — the one encoding shared by
-        the stacked graph, the stacked root and the stacked delta."""
-        n = self.base_graph.num_nodes
-        off = np.int64(block * n)
-        big = np.int64(self.num_envs * n)
-        return (u + off) * big + (v + off)
+        """Block-diagonal union of the per-episode graphs (delegates to
+        the shared :class:`~repro.rl.vector.stacked.StackedGraphBuilder`)."""
+        return self._stack.stacked_graph(graphs)
 
     def _get_stacked_base(self) -> Graph:
         """``B`` block-diagonal copies of the delta root — the reference
         topology the stacked incremental evaluator caches logits for."""
-        if self._stacked_base_graph is None:
-            ea = self._delta_root.edge_array()
-            if ea.shape[0]:
-                keys = np.concatenate(
-                    [
-                        self._block_offset_keys(ea[:, 0], ea[:, 1], b)
-                        for b in range(self.num_envs)
-                    ]
-                )
-            else:
-                keys = np.empty(0, dtype=np.int64)
-            self._stacked_base_graph = Graph._from_keys(
-                self.num_envs * self.base_graph.num_nodes, keys,
-                self._stacked_features, self._stacked_labels,
-            )
-        return self._stacked_base_graph
+        return self._stack.stacked_base(self.num_envs)
 
-    def _attach_stacked_delta(
-        self, stacked: Graph, graphs: List[Graph]
-    ) -> None:
-        """Record the stacked graph's edge delta against the stacked base.
-
-        The block-diagonal union of per-episode deltas (offset into each
-        episode's node range) *is* the stacked delta, so the stacked
-        forward inherits the halo-restricted path for free.  Episodes of
-        unknown provenance (no delta against the shared root) leave the
-        stacked graph delta-less — the evaluator then falls back to the
-        dense stacked forward.
-        """
-        n = self.base_graph.num_nodes
-        added: List[np.ndarray] = []
-        removed: List[np.ndarray] = []
-        for b, g in enumerate(graphs):
-            if g is self._delta_root:
-                continue
-            delta = g.delta
-            if delta is None or delta.base is not self._delta_root:
-                return
-            for keys, out in ((delta.added, added), (delta.removed, removed)):
-                if keys.shape[0]:
-                    out.append(
-                        self._block_offset_keys(keys // n, keys % n, b)
-                    )
-        empty = np.empty(0, dtype=np.int64)
-        stacked.delta = GraphDelta(
-            self._get_stacked_base(),
-            np.concatenate(added) if added else empty,
-            np.concatenate(removed) if removed else empty,
-        )
+    @property
+    def _inc_stacked(self) -> Optional[IncrementalEvaluator]:
+        """The builder's stacked evaluator at batch width (``None`` until
+        the first incremental stacked evaluation builds it)."""
+        if self._inc is None:
+            return None
+        return self._stack._incs.get(self.num_envs)
 
     def _stacked_metrics(
         self, graphs: List[Graph]
     ) -> Tuple[np.ndarray, np.ndarray]:
         """(scores, losses) of every episode from one stacked forward."""
-        stacked = self._stacked_graph(graphs)
-        if self._inc is not None:
-            # Halo-restricted stacked evaluation: only the blocks' edit
-            # halos are re-scored against the cached stacked-base logits.
-            if self._inc_stacked is None:
-                self._inc_stacked = IncrementalEvaluator(
-                    self.model, self._get_stacked_base(),
-                    max_halo_frac=self.config.max_halo_frac,
-                )
-            logits = self._inc_stacked.predict_logits(stacked)
-        else:
-            was_training = self.model.training
-            self.model.eval()
-            logits = self.model(stacked, Tensor(self._stacked_features)).data
-            if was_training:
-                self.model.train()
+        per_env = self._stack.stacked_logits(graphs)
 
         B, n = self.num_envs, self.base_graph.num_nodes
-        per_env = logits.reshape(B, n, -1)
         sub = per_env[:, self._train_idx, :]  # (B, M, C)
         y = self._train_labels
         m = self._train_idx.shape[0]
@@ -415,7 +315,6 @@ class VecTopologyEnv(VecEnv):
         key = k.tobytes() + d.tobytes()
         graph = self._rewire_cache.get(key)
         if graph is None:
-            self._memo_count("misses")
             with self._tel.span("env.rewire", hist="rl.rewire_s"):
                 graph = rewire_graph(
                     self.base_graph,
@@ -425,14 +324,9 @@ class VecTopologyEnv(VecEnv):
                     add_edges=self.config.add_edges,
                     remove_edges=self.config.remove_edges,
                 )
-            while len(self._rewire_cache) >= self._rewire_cache_limit:
-                self._rewire_cache.popitem(last=False)
-                self._memo_count("evictions")
-            self._rewire_cache[key] = graph
-        else:
-            self._memo_count("hits")
-            # True LRU: a hit refreshes recency so hot states survive.
-            self._rewire_cache.move_to_end(key)
+            self._rewire_cache.put(
+                key, graph, capacity=self._rewire_cache_limit
+            )
         return graph
 
     # ------------------------------------------------------------------
@@ -524,8 +418,7 @@ class VecTopologyEnv(VecEnv):
                     self._model_version += 1
                     if self._inc is not None:
                         self._inc.invalidate()
-                    if self._inc_stacked is not None:
-                        self._inc_stacked.invalidate()
+                    self._stack.invalidate()
                     scores[b], losses[b] = self._metrics_single(graphs[b])
 
         self.prev_score = scores

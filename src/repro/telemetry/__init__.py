@@ -41,7 +41,7 @@ from .metrics import (
     MetricsRegistry,
     StatsView,
 )
-from .report import render_report, report_from_events
+from .report import render_report, report_from_events, report_from_snapshot
 from .schema import validate_event, validate_lines
 from .tracing import NULL_SPAN, NullSpan, Span, current_span, traced
 
@@ -62,6 +62,7 @@ __all__ = [
     "get_telemetry",
     "render_report",
     "report_from_events",
+    "report_from_snapshot",
     "set_telemetry",
     "telemetry_from_spec",
     "traced",

@@ -15,7 +15,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .metrics import Histogram, MetricsRegistry
 
-__all__ = ["render_report", "report_from_events"]
+__all__ = ["render_report", "report_from_events", "report_from_snapshot"]
 
 
 def _span_rows(spans: Sequence[Mapping]) -> List[Tuple[str, int, float]]:
@@ -125,6 +125,61 @@ def _fmt_value(value: Optional[float], seconds: bool) -> str:
     if seconds:
         return _fmt_seconds(value)
     return f"{value:g}"
+
+
+def report_from_snapshot(
+    snapshot: Mapping, title: str = "telemetry report"
+) -> str:
+    """Render a :meth:`~repro.telemetry.Telemetry.snapshot` dict.
+
+    Snapshots carry histogram *summaries* (count/mean/quantiles), not
+    bucket states, so this renders the quantile columns directly — the
+    path ``repro stats`` takes for ``repro-bench/v2`` result envelopes,
+    which embed exactly such a snapshot.
+
+    Examples
+    --------
+    >>> out = report_from_snapshot({"counters": {"hits": 3}})
+    >>> "hits" in out
+    True
+    """
+    lines = [title, "=" * len(title)]
+    counters = snapshot.get("counters") or {}
+    gauges = snapshot.get("gauges") or {}
+    histograms = snapshot.get("histograms") or {}
+
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        width = max(len(n) for n in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name.ljust(width)}  {counters[name]}")
+
+    if gauges:
+        lines.append("")
+        lines.append("gauges:")
+        width = max(len(n) for n in gauges)
+        for name in sorted(gauges):
+            lines.append(f"  {name.ljust(width)}  {gauges[name]:g}")
+
+    if histograms:
+        lines.append("")
+        lines.append("histograms (count / mean / p50 / p90 / p99 / max):")
+        width = max(len(n) for n in histograms)
+        for name in sorted(histograms):
+            s = histograms[name]
+            seconds = name.endswith("_s")
+            cells = " / ".join(
+                _fmt_value(s.get(k), seconds)
+                for k in ("mean", "p50", "p90", "p99", "max")
+            )
+            lines.append(
+                f"  {name.ljust(width)}  x{s.get('count', 0):<6d} {cells}"
+            )
+
+    if len(lines) == 2:
+        lines.append("(empty snapshot)")
+    return "\n".join(lines)
 
 
 def report_from_events(events: Sequence[Mapping]) -> str:

@@ -18,12 +18,14 @@ REPO = Path(__file__).resolve().parents[2]
 
 def test_doclint_passes_on_gated_packages():
     """The dependency-free pydocstyle equivalent reports zero problems
-    on every documentation-gated package (gnn + tensor + telemetry)."""
+    on every documentation-gated package (gnn + tensor + telemetry +
+    serve)."""
     proc = subprocess.run(
         [sys.executable, str(REPO / "tools" / "doclint.py"),
          str(REPO / "src" / "repro" / "gnn"),
          str(REPO / "src" / "repro" / "tensor"),
-         str(REPO / "src" / "repro" / "telemetry")],
+         str(REPO / "src" / "repro" / "telemetry"),
+         str(REPO / "src" / "repro" / "serve")],
         capture_output=True, text=True,
     )
     assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,225 @@
+"""Micro-batcher: batch formation, coalescing, shedding, deadlines,
+shutdown.  Uses a lightweight fake artifact so each test isolates the
+batching logic; the numeric path is covered by ``test_server.py``."""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.lru import LRUCache
+from repro.serve.batcher import MicroBatcher
+from repro.serve.protocol import (
+    DeadlineExceededError,
+    OverloadedError,
+    ServeError,
+)
+from repro.telemetry import Telemetry
+
+
+class FakeGraph:
+    def __init__(self, key):
+        self.key = key
+        self.num_edges = 10
+
+
+class FakeArtifact:
+    """Counts rewires/forwards; scoring returns per-graph markers."""
+
+    def __init__(self, delay_s=0.0):
+        self.delay_s = delay_s
+        self.rewires = 0
+        self.score_calls = []
+
+    def rewired(self, k, d, memo):
+        key = k.tobytes() + d.tobytes()
+        graph = memo.get(key)
+        if graph is None:
+            self.rewires += 1
+            graph = memo.put(key, FakeGraph(key))
+        return graph
+
+    def score_blocks(self, graphs):
+        self.score_calls.append(len(graphs))
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        return [(float(len(g.key)), 0.5) for g in graphs]
+
+
+class FakeSession:
+    def __init__(self, artifact):
+        self.artifact = artifact
+        self.memo = LRUCache(32)
+
+
+def kd(seed, n=4):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 3, size=n), rng.integers(0, 3, size=n)
+
+
+async def _submit_n(batcher, session, seeds, op="score", deadline_ms=None):
+    futures = []
+    for seed in seeds:
+        k, d = kd(seed)
+        futures.append(
+            batcher.submit(op, session, k, d, deadline_ms=deadline_ms)
+        )
+    return await asyncio.gather(*futures, return_exceptions=True)
+
+
+def test_concurrent_requests_form_one_batch():
+    """Requests inside the wait window execute as a single fused batch."""
+    tel = Telemetry(enabled=True)
+
+    async def run():
+        batcher = MicroBatcher(max_batch=8, max_wait_ms=20.0, tel=tel)
+        await batcher.start()
+        session = FakeSession(FakeArtifact())
+        results = await _submit_n(batcher, session, seeds=range(5))
+        await batcher.stop()
+        return session.artifact, results
+
+    artifact, results = asyncio.run(run())
+    assert artifact.score_calls == [5]
+    assert all(r["unique_width"] == 5 for r in results)
+    assert all(r["batch_width"] == 5 for r in results)
+    assert tel.snapshot()["counters"]["serve.batches"] == 1
+
+
+def test_duplicate_candidates_coalesce_to_one_computation():
+    """Identical (k, d) score requests are computed once and fanned out."""
+    tel = Telemetry(enabled=True)
+
+    async def run():
+        batcher = MicroBatcher(max_batch=16, max_wait_ms=20.0, tel=tel)
+        await batcher.start()
+        session = FakeSession(FakeArtifact())
+        results = await _submit_n(
+            batcher, session, seeds=[1, 1, 1, 2, 2, 3]
+        )
+        await batcher.stop()
+        return session.artifact, results
+
+    artifact, results = asyncio.run(run())
+    assert artifact.score_calls == [3]          # 3 unique candidates
+    assert artifact.rewires == 3                # no duplicate rewires
+    assert all(r["unique_width"] == 3 for r in results)
+    assert all(r["batch_width"] == 6 for r in results)
+    # 6 requests, 3 unique -> 3 coalesced away.
+    assert tel.snapshot()["counters"]["serve.coalesced"] == 3
+    # Fan-out shares results: duplicates got equal payloads.
+    assert results[0] == results[1] == results[2]
+
+
+def test_full_queue_sheds_with_retry_hint():
+    async def run():
+        batcher = MicroBatcher(
+            max_batch=2, max_wait_ms=50.0, max_queue=2,
+            tel=Telemetry(enabled=True),
+        )
+        # Not started: the queue can only fill.
+        session = FakeSession(FakeArtifact())
+        k, d = kd(0)
+        batcher.submit("score", session, k, d)
+        batcher.submit("score", session, k, d)
+        with pytest.raises(OverloadedError) as exc_info:
+            batcher.submit("score", session, k, d)
+        assert exc_info.value.retry_after_ms > 0
+        await batcher.stop()
+
+    asyncio.run(run())
+
+
+def test_deadline_expires_before_execution():
+    """A request whose deadline passed while queued never runs."""
+    tel = Telemetry(enabled=True)
+
+    async def run():
+        batcher = MicroBatcher(max_batch=4, max_wait_ms=30.0, tel=tel)
+        await batcher.start()
+        session = FakeSession(FakeArtifact())
+        k, d = kd(0)
+        future = batcher.submit("score", session, k, d, deadline_ms=1.0)
+        await asyncio.sleep(0.01)  # stays queued past the deadline
+        with pytest.raises(DeadlineExceededError):
+            await future
+        await batcher.stop()
+        return session.artifact
+
+    artifact = asyncio.run(run())
+    assert artifact.score_calls == []  # never cost a forward
+    assert tel.snapshot()["counters"]["serve.deadline_expired"] == 1
+
+
+def test_deadline_expires_mid_batch():
+    """A deadline crossed during execution rejects the response."""
+
+    async def run():
+        batcher = MicroBatcher(
+            max_batch=4, max_wait_ms=0.0, tel=Telemetry(enabled=True)
+        )
+        await batcher.start()
+        session = FakeSession(FakeArtifact(delay_s=0.05))
+        k, d = kd(0)
+        future = batcher.submit("score", session, k, d, deadline_ms=20.0)
+        with pytest.raises(DeadlineExceededError):
+            await future
+        await batcher.stop()
+        return session.artifact
+
+    artifact = asyncio.run(run())
+    assert artifact.score_calls == [1]  # it ran, but too late to deliver
+
+
+def test_stop_fails_queued_requests():
+    async def run():
+        batcher = MicroBatcher(max_batch=4, max_wait_ms=1000.0,
+                               tel=Telemetry(enabled=True))
+        await batcher.start()
+        session = FakeSession(FakeArtifact())
+        k, d = kd(0)
+        future = batcher.submit("score", session, k, d)
+        await batcher.stop()
+        with pytest.raises(ServeError):
+            await future
+
+    asyncio.run(run())
+
+
+def test_rewire_op_reports_memo_state():
+    async def run():
+        batcher = MicroBatcher(max_batch=8, max_wait_ms=10.0,
+                               tel=Telemetry(enabled=True))
+        await batcher.start()
+        session = FakeSession(FakeArtifact())
+        k, d = kd(0)
+        first = await batcher.submit("rewire", session, k, d)
+        second = await batcher.submit("rewire", session, k, d)
+        await batcher.stop()
+        return first, second
+
+    first, second = asyncio.run(run())
+    assert first["cached"] is False
+    assert second["cached"] is True
+    assert second["memo"]["hits"] >= 1
+
+
+def test_failing_artifact_fails_only_its_requests():
+    """A scoring error propagates to the batch's requests as-is."""
+
+    class ExplodingArtifact(FakeArtifact):
+        def score_blocks(self, graphs):
+            raise RuntimeError("numerical disaster")
+
+    async def run():
+        batcher = MicroBatcher(max_batch=4, max_wait_ms=10.0,
+                               tel=Telemetry(enabled=True))
+        await batcher.start()
+        session = FakeSession(ExplodingArtifact())
+        results = await _submit_n(batcher, session, seeds=[1, 2])
+        await batcher.stop()
+        return results
+
+    results = asyncio.run(run())
+    assert all(isinstance(r, RuntimeError) for r in results)

@@ -1,0 +1,88 @@
+"""Wire protocol: framing, array encodings, error envelope round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.serve.protocol import (
+    BadRequestError,
+    DeadlineExceededError,
+    ERROR_CODES,
+    OverloadedError,
+    ServeError,
+    UnknownSessionError,
+    decode_array,
+    decode_line,
+    encode_array,
+    encode_line,
+    error_response,
+    ok_response,
+    raise_for_error,
+)
+
+
+def test_encode_decode_line_roundtrip():
+    frame = {"id": 3, "op": "score", "k": [1, 2]}
+    line = encode_line(frame)
+    assert line.endswith(b"\n")
+    assert decode_line(line) == frame
+
+
+def test_decode_line_rejects_junk_and_non_objects():
+    with pytest.raises(BadRequestError):
+        decode_line(b"not json\n")
+    with pytest.raises(BadRequestError):
+        decode_line(b"[1, 2, 3]\n")
+
+
+def test_array_roundtrip_compact_and_list_forms():
+    values = np.arange(100, dtype=np.int64)
+    compact = encode_array(values)
+    assert set(compact) == {"b64"}
+    assert np.array_equal(decode_array(compact), values)
+    assert np.array_equal(decode_array(values.tolist()), values)
+
+
+def test_array_compact_form_survives_json_framing():
+    values = np.array([5, -3, 0, 2**40])
+    frame = decode_line(encode_line({"k": encode_array(values)}))
+    assert np.array_equal(decode_array(frame["k"]), values)
+
+
+def test_decode_array_rejects_malformed_input():
+    with pytest.raises(BadRequestError):
+        decode_array({"b64": 42})
+    with pytest.raises(BadRequestError):
+        decode_array({"b64": "!!!not-base64!!!"})
+    with pytest.raises(BadRequestError):
+        decode_array(["a", "b"])
+
+
+def test_ok_and_error_envelopes():
+    assert ok_response(7, {"x": 1}) == {"id": 7, "ok": True, "result": {"x": 1}}
+    env = error_response(7, UnknownSessionError("gone"))
+    assert env["ok"] is False
+    assert env["error"]["code"] == "unknown_session"
+    # Non-ServeError exceptions never leak as anything but "internal".
+    env = error_response(7, RuntimeError("boom"))
+    assert env["error"]["code"] == "internal"
+
+
+def test_raise_for_error_restores_exception_classes():
+    for code, cls in ERROR_CODES.items():
+        with pytest.raises(cls):
+            raise_for_error({"code": code, "message": "m"})
+    with pytest.raises(ServeError):
+        raise_for_error({"code": "never-heard-of-it", "message": "m"})
+
+
+def test_overloaded_roundtrip_keeps_retry_hint():
+    wire = OverloadedError("full", retry_after_ms=12.5).to_wire()
+    assert wire["retry_after_ms"] == 12.5
+    with pytest.raises(OverloadedError) as exc_info:
+        raise_for_error(wire)
+    assert exc_info.value.retry_after_ms == 12.5
+
+
+def test_error_codes_are_distinct_and_stable():
+    assert ERROR_CODES["deadline_exceeded"] is DeadlineExceededError
+    assert len(ERROR_CODES) == 5

@@ -1,0 +1,116 @@
+"""Envelope differ (``tools/bench_compare.py``): flattening, metric
+direction classification, regression gating and the CLI exit code."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_compare", REPO / "tools" / "bench_compare.py"
+)
+bench_compare = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_compare)
+
+
+def envelope(results, bench="bench_x", rss=1000):
+    return {
+        "schema": "repro-bench/v2",
+        "bench": bench,
+        "telemetry": {"counters": {}, "gauges": {}, "histograms": {}},
+        "peak_rss_bytes": rss,
+        "results": results,
+    }
+
+
+def test_numeric_leaves_flatten_nested_structures():
+    """Dicts and lists flatten to sorted dotted paths; bools are not
+    numbers."""
+    leaves = dict(bench_compare.numeric_leaves(
+        {"a": {"b": 1, "flag": True}, "c": [2.0, {"d": 3}]}
+    ))
+    assert leaves == {"a.b": 1.0, "c.0": 2.0, "c.1.d": 3.0}
+
+
+def test_direction_classification():
+    """Rates gate upward, durations downward, unknown names not at all."""
+    assert bench_compare.direction("results.serial.rps") == 1
+    assert bench_compare.direction("results.speedup") == 1
+    assert bench_compare.direction("results.elapsed_s") == -1
+    assert bench_compare.direction("results.p99_ms") == -1
+    assert bench_compare.direction("peak_rss_bytes") == -1
+    assert bench_compare.direction("results.pool_size") == 0
+
+
+def test_regression_flagged_beyond_threshold():
+    """A rate dropping by more than the threshold is a regression."""
+    old = envelope({"rps": 1000.0, "elapsed_s": 1.0})
+    new = envelope({"rps": 800.0, "elapsed_s": 1.0})
+    rows, regressions = bench_compare.compare(old, new, threshold=0.10)
+    assert regressions == ["results.rps"]
+    verdicts = {path: verdict for path, *_, verdict in rows}
+    assert verdicts["results.rps"] == "regression"
+    assert verdicts["results.elapsed_s"] == "ok"
+
+
+def test_duration_increase_is_a_regression_and_drop_an_improvement():
+    old = envelope({"elapsed_s": 1.0, "p99_ms": 50.0})
+    new = envelope({"elapsed_s": 1.5, "p99_ms": 20.0})
+    rows, regressions = bench_compare.compare(old, new, threshold=0.10)
+    verdicts = {path: verdict for path, *_, verdict in rows}
+    assert regressions == ["results.elapsed_s"]
+    assert verdicts["results.p99_ms"] == "improved"
+
+
+def test_moves_inside_threshold_and_ungated_metrics_never_gate():
+    old = envelope({"rps": 1000.0, "pool_size": 8})
+    new = envelope({"rps": 950.0, "pool_size": 16})
+    rows, regressions = bench_compare.compare(old, new, threshold=0.10)
+    assert regressions == []
+    verdicts = {path: verdict for path, *_, verdict in rows}
+    assert verdicts["results.rps"] == "ok"
+    assert verdicts["results.pool_size"] == "info"
+
+
+def test_added_and_removed_metrics_are_reported_not_gated():
+    old = envelope({"rps": 1000.0, "gone": 1.0})
+    new = envelope({"rps": 1000.0, "fresh": 2.0})
+    rows, regressions = bench_compare.compare(old, new, threshold=0.10)
+    assert regressions == []
+    verdicts = {path: verdict for path, *_, verdict in rows}
+    assert verdicts["results.gone"] == "removed"
+    assert verdicts["results.fresh"] == "added"
+
+
+def test_main_exit_code_counts_regressions(tmp_path, capsys):
+    """The CLI exits 0 on clean diffs and with the regression count
+    otherwise (the ``make bench-compare`` contract)."""
+    old = tmp_path / "old.json"
+    new = tmp_path / "new.json"
+    old.write_text(json.dumps(envelope({"rps": 1000.0, "p99_ms": 10.0})))
+    new.write_text(json.dumps(envelope({"rps": 1000.0, "p99_ms": 10.0})))
+    assert bench_compare.main([str(old), str(new)]) == 0
+
+    new.write_text(json.dumps(envelope({"rps": 500.0, "p99_ms": 100.0})))
+    assert bench_compare.main([str(old), str(new)]) == 2
+    out = capsys.readouterr().out
+    assert "results.rps" in out and "results.p99_ms" in out
+
+
+def test_non_envelope_input_is_rejected(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "something-else"}))
+    try:
+        bench_compare.load_envelope(bad)
+    except SystemExit as exc:
+        assert "repro-bench/v2" in str(exc)
+    else:
+        raise AssertionError("expected SystemExit on a non-envelope file")
+
+
+def test_peak_rss_gates_downward(tmp_path):
+    old = envelope({}, rss=1_000_000)
+    new = envelope({}, rss=2_000_000)
+    rows, regressions = bench_compare.compare(old, new, threshold=0.10)
+    assert regressions == ["peak_rss_bytes"]

@@ -1,0 +1,193 @@
+"""Diff two ``repro-bench/v2`` result envelopes and flag regressions.
+
+Compares every numeric leaf of the two envelopes' ``results`` payloads
+(plus ``peak_rss_bytes``), keyed by dotted path, and classifies each
+metric by name:
+
+* **lower is better** — durations and footprints (``*_s``, ``*_ms``,
+  ``*_ns``, ``elapsed*``, ``p50*``/``p90*``/``p99*``, ``*rss*``,
+  ``*bytes``);
+* **higher is better** — rates and quality (``*rps``, ``*sps``,
+  ``*speedup*``, ``*throughput*``, ``*acc*``, ``*recall*``);
+* everything else is reported as informational and never gates.
+
+A gated metric that moved in the bad direction by more than
+``--threshold`` (default 10%) is a **regression**; the exit status is
+the number of regressions, so CI and ``make bench-compare
+OLD=a.json NEW=b.json`` fail loudly.  Dependency-free (stdlib json
+only).
+
+Usage:
+
+    python tools/bench_compare.py old.json new.json [--threshold 0.1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, Tuple
+
+#: Duration suffixes (matched with ``endswith`` on the metric's last
+#: path segment) marking metrics where smaller values are improvements.
+LOWER_SUFFIXES = ("_s", "_ms", "_ns")
+
+#: Name fragments (substring match) with the same lower-is-better sense.
+LOWER_IS_BETTER = ("elapsed", "p50", "p90", "p99", "rss", "bytes", "latency")
+
+#: Name fragments marking metrics where larger values are improvements.
+HIGHER_IS_BETTER = (
+    "rps", "sps", "speedup", "throughput", "acc", "recall", "hits",
+)
+
+
+def load_envelope(path: Path) -> dict:
+    """Parse one result file; must be a ``repro-bench/v2`` envelope."""
+    with open(path) as handle:
+        envelope = json.load(handle)
+    if not isinstance(envelope, dict) or envelope.get("schema") != "repro-bench/v2":
+        raise SystemExit(
+            f"{path}: not a repro-bench/v2 envelope "
+            f"(schema={envelope.get('schema')!r} if it parsed at all)"
+        )
+    return envelope
+
+
+def numeric_leaves(node, prefix: str = "") -> Iterator[Tuple[str, float]]:
+    """Every ``(dotted path, value)`` numeric leaf under ``node``.
+
+    Examples
+    --------
+    >>> dict(numeric_leaves({"a": {"b": 1}, "c": [2.0]}))
+    {'a.b': 1.0, 'c.0': 2.0}
+    """
+    if isinstance(node, bool):
+        return
+    if isinstance(node, (int, float)):
+        yield prefix, float(node)
+    elif isinstance(node, dict):
+        for key in sorted(node):
+            sub = f"{prefix}.{key}" if prefix else str(key)
+            yield from numeric_leaves(node[key], sub)
+    elif isinstance(node, list):
+        for index, item in enumerate(node):
+            sub = f"{prefix}.{index}" if prefix else str(index)
+            yield from numeric_leaves(item, sub)
+
+
+def direction(path: str) -> int:
+    """``-1`` when lower is better, ``+1`` when higher is, ``0`` ungated."""
+    leaf = path.rsplit(".", 1)[-1].lower()
+    # Order matters: "bytes_per_s" style names hit the rate rule first.
+    for fragment in HIGHER_IS_BETTER:
+        if fragment in leaf:
+            return 1
+    if leaf.endswith(LOWER_SUFFIXES):
+        return -1
+    for fragment in LOWER_IS_BETTER:
+        if fragment in leaf:
+            return -1
+    return 0
+
+
+def compare(
+    old: dict, new: dict, threshold: float
+) -> Tuple[list, list]:
+    """Rows of ``(path, old, new, change, verdict)`` plus the regressions.
+
+    ``change`` is the relative move in the metric's value; the verdict
+    is ``regression``/``improved`` for gated metrics that moved beyond
+    the threshold, ``ok`` for gated metrics inside it and ``info`` for
+    ungated ones.  Metrics present in only one envelope are listed as
+    ``added``/``removed`` and never gate.
+    """
+    old_values: Dict[str, float] = dict(
+        numeric_leaves({"results": old.get("results"),
+                        "peak_rss_bytes": old.get("peak_rss_bytes")})
+    )
+    new_values: Dict[str, float] = dict(
+        numeric_leaves({"results": new.get("results"),
+                        "peak_rss_bytes": new.get("peak_rss_bytes")})
+    )
+    rows, regressions = [], []
+    for path in sorted(old_values.keys() | new_values.keys()):
+        if path not in new_values:
+            rows.append((path, old_values[path], None, None, "removed"))
+            continue
+        if path not in old_values:
+            rows.append((path, None, new_values[path], None, "added"))
+            continue
+        before, after = old_values[path], new_values[path]
+        change = (after - before) / abs(before) if before else 0.0
+        gate = direction(path)
+        if gate == 0:
+            verdict = "info"
+        elif gate * change < -threshold:
+            verdict = "regression"
+            regressions.append(path)
+        elif gate * change > threshold:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        rows.append((path, before, after, change, verdict))
+    return rows, regressions
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if abs(value) >= 1000 or (value and abs(value) < 0.01):
+        return f"{value:.3g}"
+    return f"{value:.3f}"
+
+
+def print_rows(rows, verbose: bool) -> None:
+    """Aligned comparison table; quiet mode hides inside-threshold rows."""
+    shown = [
+        r for r in rows
+        if verbose or r[4] in ("regression", "improved", "added", "removed")
+    ]
+    if not shown:
+        print("no metric moved beyond the threshold")
+        return
+    width = max(len(r[0]) for r in shown)
+    for path, before, after, change, verdict in shown:
+        delta = f"{100 * change:+.1f}%" if change is not None else "-"
+        print(f"  {path.ljust(width)}  {_fmt(before):>10s} -> "
+              f"{_fmt(after):>10s}  {delta:>8s}  {verdict}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("old", type=Path, help="baseline envelope (json)")
+    parser.add_argument("new", type=Path, help="candidate envelope (json)")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative move that counts as a change "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also list metrics inside the threshold")
+    args = parser.parse_args(argv)
+
+    old = load_envelope(args.old)
+    new = load_envelope(args.new)
+    if old.get("bench") != new.get("bench"):
+        print(f"warning: comparing different benches "
+              f"({old.get('bench')!r} vs {new.get('bench')!r})")
+    print(f"bench {new.get('bench')}: {args.old} -> {args.new} "
+          f"(threshold {100 * args.threshold:.0f}%)")
+    rows, regressions = compare(old, new, args.threshold)
+    print_rows(rows, args.verbose)
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{100 * args.threshold:.0f}%:")
+        for path in regressions:
+            print(f"  {path}")
+    else:
+        print("\nno regressions")
+    return len(regressions)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
