@@ -1,6 +1,6 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test doclint bench-smoke bench-scaling bench-rollout bench-entropy bench-reward bench-halo bench-backend bench-telemetry bench-out-of-core bench-serving bench-compare serve-smoke
+.PHONY: test doclint bench-smoke bench-scaling bench-rollout bench-entropy bench-reward bench-halo bench-backend bench-telemetry bench-out-of-core bench-serving bench-streaming bench-compare serve-smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -9,7 +9,7 @@ test:
 # symbol of repro.gnn must carry a docstring.  Mirrored in the tier-1
 # suite (tests/gnn/test_docstrings.py) and run as a CI step.
 doclint:
-	python tools/doclint.py src/repro/gnn src/repro/tensor src/repro/telemetry src/repro/serve
+	python tools/doclint.py src/repro/gnn src/repro/tensor src/repro/telemetry src/repro/serve src/repro/stream
 
 # Fast sanity run (< 90 s): the CSR scaling benchmark at small N (asserts
 # the >= 5x speedup contract) plus small-N passes of both incremental
@@ -23,6 +23,7 @@ bench-smoke:
 	$(PY) benchmarks/bench_backend_kernels.py --sizes 2000
 	$(PY) benchmarks/bench_telemetry_overhead.py --steps 32 --iterations 50000
 	$(PY) benchmarks/bench_out_of_core.py --n 3000
+	$(PY) benchmarks/bench_streaming.py --nodes 800 --events 4 --steps 40 --repeats 2
 
 # Full trajectory including the 20k-node fast-path-only point.
 bench-scaling:
@@ -74,6 +75,14 @@ bench-telemetry:
 # >= 3x throughput contract and writes JSON into bench_results/.
 bench-serving:
 	$(PY) benchmarks/bench_serving.py
+
+# Live-churn folding (collapsed deltas + O(|edit|) online window
+# maintenance) vs rebuilding the validated graph and rescanning all
+# metrics after every event batch, on the same deterministic trace.
+# Window aggregates are verified byte-identical between the legs before
+# the ratio is asserted (>= 3x at N = 5k, drift, 8 events/batch).
+bench-streaming:
+	$(PY) benchmarks/bench_streaming.py
 
 # Diff two repro-bench/v2 result envelopes (old new); exits non-zero on
 # regressions beyond the threshold (see tools/bench_compare.py --help).

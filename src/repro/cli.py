@@ -120,6 +120,18 @@ def build_parser() -> argparse.ArgumentParser:
                           "incremental step falls back to the dense "
                           "evaluation (default 0.5)")
     run.add_argument("--splits", type=int, default=1)
+    run.add_argument("--churn", nargs="?", const="drift", default=None,
+                     choices=["drift", "burst", "hubs"], metavar="REGIME",
+                     help="run under live edge churn (docs/streaming.md): "
+                          "fold external add/remove edge events into the "
+                          "topology every MDP step; bare --churn uses the "
+                          "'drift' regime, or pick 'burst'/'hubs'")
+    run.add_argument("--churn-events", type=int, default=4,
+                     help="external events folded in per MDP step "
+                          "(default 4; needs --churn)")
+    run.add_argument("--churn-seed", type=int, default=0,
+                     help="seed of the synthetic churn stream (default 0; "
+                          "needs --churn)")
     add_entropy_engine_args(run)
     add_telemetry_arg(run)
 
@@ -220,6 +232,15 @@ def cmd_run(args) -> int:
         run={"command": "run", "dataset": graph_name,
              "backbone": args.backbone},
     )
+    stream_cfg = None
+    if getattr(args, "churn", None):
+        from .stream import StreamConfig
+
+        stream_cfg = StreamConfig(
+            regime=args.churn,
+            events_per_step=args.churn_events,
+            seed=args.churn_seed,
+        )
     config = RareConfig(
         storage="stream" if args.graph_bundle else "ram",
         lam=args.lam,
@@ -235,6 +256,7 @@ def cmd_run(args) -> int:
         screening=args.screening,
         num_workers=args.num_workers,
         tensor_backend=args.tensor_backend,
+        stream=stream_cfg,
         seed=args.seed,
     )
     base_accs, rare_accs, gains = [], [], []

@@ -149,6 +149,17 @@ class RareConfig:
     run (``GraphRARE.fit`` activates it via
     :func:`repro.tensor.use_backend`), never set globally."""
 
+    stream: "StreamConfig | None" = None  # noqa: F821 - lazy import below
+    """Live edge churn (:mod:`repro.stream`).  ``None`` (default) keeps
+    the classical static-graph setting.  A
+    :class:`~repro.stream.StreamConfig` makes the environment fold
+    ``events_per_step`` external add/remove edge events into the base
+    topology at the start of every MDP step, interleaved with the
+    agent's own rewires — both delta sources collapse to one shared
+    root so propagation caches and rewire memos stay valid, with a
+    bitwise-verified rebase above ``rebase_threshold`` dirty nodes.
+    See ``docs/streaming.md``."""
+
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -203,6 +214,15 @@ class RareConfig:
                 f"unknown rl_algorithm {self.rl_algorithm!r}; "
                 f"choose from {sorted(AGENTS)}"
             )
+        if self.stream is not None:
+            from ..stream.config import StreamConfig
+
+            if not isinstance(self.stream, StreamConfig):
+                raise ValueError(
+                    "stream must be None or a repro.stream.StreamConfig, "
+                    f"got {self.stream!r}"
+                )
+            self.stream.validate()
         if not (self.add_edges or self.remove_edges):
             raise ValueError("at least one of add_edges/remove_edges must be on")
         if self.horizon < 1 or self.episodes < 1:

@@ -215,6 +215,26 @@ class TopologyEnv(Env):
             if config.incremental_reward
             else None
         )
+        # Optional live churn (docs/streaming.md): with ``config.stream``
+        # set, every step first folds one batch of external add/remove
+        # edge events into the base topology.  The churn engine keeps
+        # ``base_graph = root + one collapsed delta`` so the incremental
+        # evaluator above stays bound to the same root as the agent's own
+        # rewires; the online evaluator maintains sliding-window metrics
+        # of the drifting base, byte-identical to full recomputation.
+        self._stream = None
+        self._churn = None
+        self._online = None
+        if config.stream is not None:
+            from ..stream import OnlineEvaluator, StreamingGraph, make_stream
+
+            self._churn = make_stream(graph, config.stream)
+            self._stream = StreamingGraph(
+                graph,
+                rebase_threshold=config.stream.rebase_threshold,
+                tel=self._tel,
+            )
+            self._online = OnlineEvaluator(graph, window=config.stream.window)
         self.reset()
 
     # ------------------------------------------------------------------
@@ -310,6 +330,11 @@ class TopologyEnv(Env):
         they were inserted early, and the memo never resets wholesale.
         """
         key = k.tobytes() + d.tobytes()
+        if self._stream is not None:
+            # The base graph drifts under churn: the memo key carries the
+            # stream version so an entry built against an older topology
+            # can never be served again (it just ages out of the LRU).
+            key = self._stream.version.to_bytes(8, "little") + key
         graph = self._rewire_cache.get(key)
         if graph is None:
             with self._tel.span("env.rewire", hist="rl.rewire_s"):
@@ -326,6 +351,39 @@ class TopologyEnv(Env):
             )
         return graph
 
+    # ------------------------------------------------------------------
+    def _advance_stream(self) -> None:
+        """Fold one step's worth of external churn into the base graph.
+
+        Streaming-mode step prologue: draw ``events_per_step`` events
+        from the seeded generator, apply them as one collapsed delta and
+        feed the net inserted/deleted keys to the online evaluator.  A
+        rebase (dirty fraction over the threshold) promotes a fresh
+        bitwise-verified root, so the incremental reward evaluator is
+        re-bound to it; the rewire memo needs no flush because its keys
+        carry the stream version.
+        """
+        report = self._stream.apply(
+            self._churn.take(self.config.stream.events_per_step)
+        )
+        self._online.observe(
+            self._stream.current, report.added_keys, report.removed_keys
+        )
+        if report.rebased and self._inc is not None:
+            self._inc = IncrementalEvaluator(
+                self.model,
+                self._stream.root,
+                max_halo_frac=self.config.max_halo_frac,
+            )
+        self.base_graph = self._stream.current
+
+    def stream_metrics(self) -> Dict[str, float]:
+        """Sliding-window aggregates of the churned base topology
+        (empty dict outside streaming mode)."""
+        if self._online is None:
+            return {}
+        return self._online.window_metrics()
+
     def step(self, action: np.ndarray) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
         with self._tel.span("env.step", hist="rl.step_s"):
             return self._step(action)
@@ -336,6 +394,11 @@ class TopologyEnv(Env):
         n = self.base_graph.num_nodes
         if action.shape != (2 * n,):
             raise ValueError(f"action must have shape ({2 * n},), got {action.shape}")
+
+        # Streaming mode: external events land before the agent's move —
+        # the step's rewire and reward see the churned topology.
+        if self._stream is not None:
+            self._advance_stream()
 
         # Eq. 10: S_{t+1} = S_t + A_t, with A in {-1, 0, +1} per component.
         self.k = self.k + (action[:n] - 1)
@@ -385,5 +448,8 @@ class TopologyEnv(Env):
             "mean_k": float(self.k.mean()),
             "mean_d": float(self.d.mean()),
         }
+        if self._stream is not None:
+            info["stream_version"] = self._stream.version
+            info["stream_events"] = self._stream.events_applied
         self.history.append({"step": self._steps_total, "reward": reward, **info})
         return self._observation(), float(reward), done, info

@@ -40,6 +40,11 @@ class RareResult:
     accuracy_curve: List[float] = field(default_factory=list)
     homophily_curve: List[float] = field(default_factory=list)
     episode_rewards: List[float] = field(default_factory=list)
+    co_trained_model: Optional[GNNBackbone] = field(default=None, repr=False)
+    """The backbone as it left co-training — the warm-start handle
+    :class:`~repro.core.temporal.TemporalGraphRARE` threads into the next
+    snapshot's run.  (The reported ``test_acc`` comes from a *fresh*
+    final model; this one carries the co-training trajectory.)"""
 
     @property
     def improvement(self) -> float:
@@ -171,13 +176,18 @@ class GraphRARE:
         sequences: Optional[EntropySequences] = None,
         shuffle_sequences: bool = False,
         train_baseline: bool = True,
+        initial_model: Optional[GNNBackbone] = None,
     ) -> RareResult:
         """Run Algorithm 1 and evaluate on ``split.test``.
 
         ``sequences`` may be supplied to reuse a precomputed entropy ranking
         across splits (the paper computes entropy once per dataset);
         ``shuffle_sequences`` activates the "without relative entropy"
-        ablation.  The whole run executes under the configured tensor
+        ablation.  ``initial_model`` warm-starts co-training from an
+        already trained backbone instead of a fresh build — the temporal
+        driver passes the previous snapshot's co-trained model here (the
+        baseline and the final evaluation model are always fresh, so the
+        reported accuracies stay comparable across snapshots).  The whole run executes under the configured tensor
         backend (``RareConfig.tensor_backend``), scoped so concurrent or
         subsequent runs keep their own choice.
 
@@ -206,7 +216,7 @@ class GraphRARE:
                 with tel.span("rare.fit", backbone=self.backbone_name):
                     return self._fit(
                         graph, split, sequences, shuffle_sequences,
-                        train_baseline,
+                        train_baseline, initial_model,
                     )
         finally:
             if opened:
@@ -219,6 +229,7 @@ class GraphRARE:
         sequences: Optional[EntropySequences],
         shuffle_sequences: bool,
         train_baseline: bool,
+        initial_model: Optional[GNNBackbone] = None,
     ) -> RareResult:
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
@@ -246,7 +257,10 @@ class GraphRARE:
                 ).test_acc
 
         # --- co-training (Algorithm 1, lines 7-18) ------------------------
-        model = self._build_model(graph, rng)
+        model = (
+            initial_model if initial_model is not None
+            else self._build_model(graph, rng)
+        )
         trainer = Trainer(model, lr=cfg.gnn_lr, weight_decay=cfg.gnn_weight_decay)
         # Warm start so early rewards are informative.
         trainer.fit(graph, split, epochs=cfg.co_train_epochs,
@@ -345,4 +359,5 @@ class GraphRARE:
             accuracy_curve=accuracy_curve,
             homophily_curve=homophily_curve,
             episode_rewards=episode_rewards,
+            co_trained_model=model,
         )

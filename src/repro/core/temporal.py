@@ -38,6 +38,13 @@ def drifting_snapshots(
 
     Each step resamples a ``drift`` fraction of the edges with the same
     homophily target, so consecutive snapshots overlap by ``1 - drift``.
+
+    Every later snapshot is derived from the base by functional
+    ``remove_edges``/``add_edges`` edits, so it carries ONE collapsed
+    :class:`~repro.graph.graph.GraphDelta` against ``snapshots[0]`` —
+    the invariant the incremental evaluator and the streaming engine key
+    caches on (a snapshot with an *empty* drift step is the base graph
+    itself, and duplicate resampled edges collapse into the set).
     """
     if not 0.0 <= drift <= 1.0:
         raise ValueError(f"drift must be in [0, 1], got {drift}")
@@ -45,6 +52,7 @@ def drifting_snapshots(
         raise ValueError(f"num_snapshots must be >= 1, got {num_snapshots}")
     rng = np.random.default_rng(seed)
     base = build_synthetic_graph(spec, seed=seed)
+    base_edges = set(base.edges)
     snapshots = [base]
     current = set(base.edges)
     for _ in range(num_snapshots - 1):
@@ -63,10 +71,16 @@ def drifting_snapshots(
                 break
             merged.add(e)
         current = merged
-        snapshots.append(
-            Graph(spec.num_nodes, current, features=base.features,
-                  labels=base.labels)
-        )
+        # Chain from the base so the snapshot is base + one collapsed
+        # delta (features/labels shared by construction).
+        removes = sorted(base_edges - current)
+        adds = sorted(current - base_edges)
+        snap = base
+        if removes:
+            snap = snap.remove_edges(np.asarray(removes, dtype=np.int64))
+        if adds:
+            snap = snap.add_edges(np.asarray(adds, dtype=np.int64))
+        snapshots.append(snap)
     return snapshots
 
 
@@ -104,6 +118,10 @@ class TemporalGraphRARE:
     def fit(
         self, snapshots: Sequence[Graph], split: Split,
     ) -> TemporalRareResult:
+        """One RARE loop per snapshot, warm-starting each snapshot's
+        co-training from the previous snapshot's co-trained backbone
+        (the temporal analogue of co-training; the baseline and the
+        final per-snapshot evaluation models stay fresh)."""
         if not snapshots:
             raise ValueError("need at least one snapshot")
         num_nodes = snapshots[0].num_nodes
@@ -112,11 +130,15 @@ class TemporalGraphRARE:
                 raise ValueError("all snapshots must share the node set")
 
         per_snapshot: List[RareResult] = []
+        warm = None
         for t, snap in enumerate(snapshots):
             # Only the final snapshot needs the baseline comparison.
             is_last = t == len(snapshots) - 1
             rare = GraphRARE(self.backbone, self.config)
-            result = rare.fit(snap, split, train_baseline=is_last)
+            result = rare.fit(
+                snap, split, train_baseline=is_last, initial_model=warm
+            )
+            warm = result.co_trained_model
             per_snapshot.append(result)
 
         final = per_snapshot[-1]

@@ -178,6 +178,25 @@ class VecTopologyEnv(VecEnv):
         )
         self._stack.set_tiled(B, self._stacked_features, self._stacked_labels)
 
+        # --- live churn (docs/streaming.md) ---------------------------
+        # One shared stream for the whole batch (all episodes live on the
+        # same drifting base); with a fixed StreamConfig seed the event
+        # trace is identical to the sequential env's, which the churn
+        # parity suite pins down.
+        self._stream = None
+        self._churn = None
+        self._online = None
+        if config.stream is not None:
+            from ...stream import OnlineEvaluator, StreamingGraph, make_stream
+
+            self._churn = make_stream(graph, config.stream)
+            self._stream = StreamingGraph(
+                graph,
+                rebase_threshold=config.stream.rebase_threshold,
+                tel=self._tel,
+            )
+            self._online = OnlineEvaluator(graph, window=config.stream.window)
+
         # --- global co-training record (one shared model) -------------
         self.best_acc = 0.0
         self.best_graph: Graph = graph
@@ -313,6 +332,11 @@ class VecTopologyEnv(VecEnv):
     # ------------------------------------------------------------------
     def _rewired(self, k: np.ndarray, d: np.ndarray) -> Graph:
         key = k.tobytes() + d.tobytes()
+        if self._stream is not None:
+            # Same invariant as the sequential env: the memo key carries
+            # the stream version so entries built against an older base
+            # topology can never be served after churn.
+            key = self._stream.version.to_bytes(8, "little") + key
         graph = self._rewire_cache.get(key)
         if graph is None:
             with self._tel.span("env.rewire", hist="rl.rewire_s"):
@@ -328,6 +352,59 @@ class VecTopologyEnv(VecEnv):
                 key, graph, capacity=self._rewire_cache_limit
             )
         return graph
+
+    # ------------------------------------------------------------------
+    # Live churn
+    # ------------------------------------------------------------------
+    def _advance_stream(self) -> None:
+        """Fold one step's worth of external churn into the shared base.
+
+        The vectorized twin of ``TopologyEnv._advance_stream``: one event
+        batch per *batched* step (all episodes share the drifting base).
+        A rebase promotes a fresh bitwise-verified root, so every
+        root-addressed structure is re-bound: the per-episode incremental
+        evaluator, the stacked-graph builder (its stacked base is B
+        copies of the root's edge keys) and the delta root itself.  The
+        clamp bounds are refreshed every churn step — degrees moved — and
+        the memoised base metrics are dropped so autoresets re-score the
+        current topology.
+        """
+        report = self._stream.apply(
+            self._churn.take(self.config.stream.events_per_step)
+        )
+        self._online.observe(
+            self._stream.current, report.added_keys, report.removed_keys
+        )
+        if report.rebased:
+            root = self._stream.root
+            self._delta_root = root
+            if self._inc is not None:
+                self._inc = IncrementalEvaluator(
+                    self.model, root,
+                    max_halo_frac=self.config.max_halo_frac,
+                )
+            self._stack = StackedGraphBuilder(
+                root, self.model, max_width=self.num_envs,
+                incremental=self._inc is not None,
+                max_halo_frac=self.config.max_halo_frac,
+                cache_limit=STACKED_CACHE_LIMIT,
+            )
+            self._stack.set_tiled(
+                self.num_envs, self._stacked_features, self._stacked_labels
+            )
+        self.base_graph = self._stream.current
+        self._state_bounds = state_bounds(
+            self.base_graph, self.sequences,
+            self.config.k_max, self.config.d_max,
+        )
+        self._base_metrics_cache = None
+
+    def stream_metrics(self) -> Dict[str, float]:
+        """Sliding-window aggregates of the churned base topology
+        (empty dict outside streaming mode)."""
+        if self._online is None:
+            return {}
+        return self._online.window_metrics()
 
     # ------------------------------------------------------------------
     # Reset / step
@@ -382,6 +459,11 @@ class VecTopologyEnv(VecEnv):
             raise ValueError(
                 f"actions must have shape ({B}, {2 * n}), got {actions.shape}"
             )
+
+        # Streaming mode: external events land before the agents' moves,
+        # in the same position the sequential env applies them.
+        if self._stream is not None:
+            self._advance_stream()
 
         # Eq. 10 batched: S_{t+1} = S_t + A_t, clamped to feasibility.
         self.k = self.k + (actions[:, :n] - 1)
@@ -441,6 +523,9 @@ class VecTopologyEnv(VecEnv):
                 "mean_k": float(self.k[b].mean()),
                 "mean_d": float(self.d[b].mean()),
             }
+            if self._stream is not None:
+                info["stream_version"] = self._stream.version
+                info["stream_events"] = self._stream.events_applied
             self.histories[b].append(
                 {
                     "step": int(self._steps_total[b]),

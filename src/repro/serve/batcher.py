@@ -45,20 +45,23 @@ __all__ = ["MicroBatcher", "PendingRequest"]
 
 @dataclass
 class PendingRequest:
-    """One queued ``rewire``/``score`` awaiting a batch slot.
+    """One queued ``rewire``/``score``/``churn`` awaiting a batch slot.
 
     ``deadline`` is absolute loop time (``None`` = no deadline); the
     strong ``session`` reference keeps the tenant's memo alive even if
-    the session manager evicts it while this request waits.
+    the session manager evicts it while this request waits.  ``churn``
+    requests carry their event list in ``events`` and leave ``k``/``d``
+    as ``None``.
     """
 
     op: str
     session: GraphSession
-    k: np.ndarray
-    d: np.ndarray
+    k: Optional[np.ndarray]
+    d: Optional[np.ndarray]
     future: "asyncio.Future[Dict[str, Any]]"
     enqueued: float
     deadline: Optional[float] = None
+    events: Optional[List] = field(default=None, repr=False)
     result: Optional[Dict[str, Any]] = field(default=None, repr=False)
     error: Optional[Exception] = field(default=None, repr=False)
 
@@ -136,9 +139,10 @@ class MicroBatcher:
         self,
         op: str,
         session: GraphSession,
-        k: np.ndarray,
-        d: np.ndarray,
+        k: Optional[np.ndarray],
+        d: Optional[np.ndarray],
         deadline_ms: Optional[float] = None,
+        events: Optional[List] = None,
     ) -> "asyncio.Future[Dict[str, Any]]":
         """Queue one request; resolves to its result payload.
 
@@ -156,7 +160,7 @@ class MicroBatcher:
             )
         now = loop.time()
         req = PendingRequest(
-            op=op, session=session, k=k, d=d,
+            op=op, session=session, k=k, d=d, events=events,
             future=loop.create_future(), enqueued=now,
             deadline=(
                 now + deadline_ms / 1000.0
@@ -259,13 +263,34 @@ class MicroBatcher:
         ``result``/``error`` in place; delivery happens back on the
         event loop so future callbacks run there.
         """
+        # Churn batches apply FIRST: within one micro-batch every rewire
+        # and score then executes against the post-churn topology, so a
+        # response issued after a churn acknowledgement can never reflect
+        # the pre-churn graph (the serving staleness guarantee; see
+        # docs/streaming.md).
+        for req in batch:
+            if req.op != "churn":
+                continue
+            try:
+                with self._tel.span(
+                    "serve.churn", hist="serve.churn_s",
+                    events=len(req.events or ()),
+                ):
+                    req.result = req.session.artifact.churn(req.events)
+                self._tel.count("serve.churns")
+            except Exception as exc:
+                req.error = exc
+
         score_groups: Dict[Tuple[int, bytes], List[PendingRequest]] = {}
         for req in batch:
+            if req.op == "churn":
+                continue
             if req.op == "rewire":
                 try:
                     memo = req.session.memo
-                    cached = (req.k.tobytes() + req.d.tobytes()) in memo
-                    graph = req.session.artifact.rewired(req.k, req.d, memo)
+                    artifact = req.session.artifact
+                    cached = artifact.memo_key(req.k, req.d) in memo
+                    graph = artifact.rewired(req.k, req.d, memo)
                     req.result = {
                         "num_edges": graph.num_edges,
                         "cached": cached,

@@ -188,6 +188,23 @@ class ServeClient:
                 await asyncio.sleep(max(exc.retry_after_ms, 1.0) / 1000.0)
         raise AssertionError("unreachable")
 
+    async def churn(
+        self,
+        session: str,
+        events: Sequence[Sequence[int]],
+        deadline_ms: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Fold external add/remove edge events into the session's live
+        graph.  Each event is ``(kind, u, v)`` (times auto-assigned in
+        list order) or ``(time, kind, u, v)``; ``kind`` is +1 for add,
+        -1 for remove.  Scores acknowledged after this call resolves are
+        guaranteed to reflect the churned topology."""
+        return await self.request(
+            "churn", session=session,
+            events=[[int(x) for x in e] for e in events],
+            **({"deadline_ms": deadline_ms} if deadline_ms is not None else {}),
+        )
+
     async def close_session(self, session: str) -> Dict[str, Any]:
         """Close a tenant session (its memo is dropped)."""
         return await self.request("close_session", session=session)

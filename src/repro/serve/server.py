@@ -25,6 +25,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Dict, Optional, Tuple
 
+from ..stream import EdgeEvent, validate_events
 from ..telemetry import Telemetry, get_telemetry
 from .batcher import MicroBatcher
 from .config import ServeConfig
@@ -178,6 +179,8 @@ class RewiringServer:
         self._tel.count("serve.requests")
         if op in ("rewire", "score"):
             return await self._op_batched(op, frame)
+        if op == "churn":
+            return await self._op_churn(frame)
         if op == "ping":
             return {"pong": True}
         if op == "open_session":
@@ -220,6 +223,47 @@ class RewiringServer:
         )
         future = self.batcher.submit(
             op, session, k, d, deadline_ms=deadline_ms
+        )
+        return await future
+
+    async def _op_churn(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Fold external edge events into the session's artifact.
+
+        Events are ``[kind, u, v]`` (times auto-assigned in list order)
+        or ``[time, kind, u, v]`` with ``kind`` +1 (add) / -1 (remove).
+        Validation happens here on the loop thread; the application runs
+        on the batcher's worker, serialized with scoring — churns within
+        a micro-batch apply before any rewire or score in it.
+        """
+        session = self.sessions.get(frame.get("session"))
+        raw = frame.get("events")
+        if not isinstance(raw, list) or not raw:
+            raise BadRequestError("churn requires a non-empty 'events' list")
+        events = []
+        for i, item in enumerate(raw):
+            if not isinstance(item, (list, tuple)) or len(item) not in (3, 4):
+                raise BadRequestError(
+                    "each event must be [kind, u, v] or [time, kind, u, v]"
+                )
+            try:
+                item = tuple(int(x) for x in item)
+            except (TypeError, ValueError) as exc:
+                raise BadRequestError(
+                    f"event fields must be integers: {item!r}"
+                ) from exc
+            events.append(
+                EdgeEvent(*item) if len(item) == 4 else EdgeEvent(i, *item)
+            )
+        try:
+            validate_events(events, session.artifact.graph.num_nodes)
+        except ValueError as exc:
+            raise BadRequestError(str(exc)) from exc
+        deadline_ms = frame.get(
+            "deadline_ms", self.config.default_deadline_ms
+        )
+        future = self.batcher.submit(
+            "churn", session, None, None,
+            deadline_ms=deadline_ms, events=events,
         )
         return await future
 

@@ -98,10 +98,12 @@ class SessionSpec:
 class GraphArtifact:
     """The spec-derived state every session on that spec shares.
 
-    All heavy members are built once in :func:`build_artifact`; the
-    artifact itself is immutable after construction except for the
-    stacked builder's internal caches (which are only touched from the
-    server's single scoring thread).
+    All heavy members are built once in :func:`build_artifact`; after
+    construction the artifact mutates only under ``churn`` (live edge
+    events fold into :attr:`graph` and bump :attr:`version`, see
+    ``docs/streaming.md``) and through the stacked builder's internal
+    caches — both only ever touched from the server's single scoring
+    thread, so no locking is needed.
     """
 
     def __init__(
@@ -121,6 +123,11 @@ class GraphArtifact:
         self.trainer = trainer
         self.split = split
         self.stack = stack
+        #: Bumps on every effective churn batch and on every rebase; the
+        #: per-session rewire memos key on it, so a cached graph built
+        #: against an older topology can never be served after a churn.
+        self.version = 0
+        self._stream = None  # lazy StreamingGraph, first churn builds it
         train = np.asarray(split.train)
         if train.dtype == bool:
             train = np.flatnonzero(train)
@@ -145,15 +152,57 @@ class GraphArtifact:
             k, d, self.graph, self.sequences, self.spec.k_max, self.spec.d_max
         )
 
+    def memo_key(self, k: np.ndarray, d: np.ndarray) -> bytes:
+        """Session-memo key of a clamped ``(k, d)``: the artifact version
+        (invalidates exactly the entries churn made stale) + the state."""
+        return self.version.to_bytes(8, "little") + k.tobytes() + d.tobytes()
+
     def rewired(self, k: np.ndarray, d: np.ndarray, memo: LRUCache) -> Graph:
         """The (memoised) entropy-guided rewire for clamped ``(k, d)``."""
-        key = k.tobytes() + d.tobytes()
+        key = self.memo_key(k, d)
         graph = memo.get(key)
         if graph is None:
             graph = memo.put(
                 key, rewire_graph(self.graph, self.sequences, k, d)
             )
         return graph
+
+    def churn(self, events) -> Dict:
+        """Fold external edge events into the live graph (worker thread).
+
+        The first churn lazily wraps :attr:`graph` in a
+        :class:`~repro.stream.StreamingGraph`; every batch then lands as
+        one collapsed delta against the artifact's root, so the stacked
+        builder's root-bound state stays valid until a rebase promotes a
+        fresh bitwise-verified root — at which point the builder is
+        rebuilt against it.  :attr:`version` tracks the stream's version,
+        which bumps on every *effective* batch: a fully no-op batch
+        leaves the graph, the version and every memoised rewire valid.
+        """
+        from ..stream import StreamingGraph
+
+        if self._stream is None:
+            self._stream = StreamingGraph(self.graph)
+        report = self._stream.apply(events)
+        self.graph = self._stream.current
+        self.version = self._stream.version
+        if report.rebased:
+            self.stack = StackedGraphBuilder(
+                self._stream.root, self.model,
+                max_width=self.stack.max_width,
+                incremental=self.spec.incremental,
+                max_halo_frac=self.spec.max_halo_frac,
+                cache_limit=self.stack.cache_limit,
+            )
+        return {
+            "applied": report.applied,
+            "added": int(report.added_keys.shape[0]),
+            "removed": int(report.removed_keys.shape[0]),
+            "num_edges": self.graph.num_edges,
+            "dirty_fraction": report.dirty_fraction,
+            "rebased": report.rebased,
+            "version": self.version,
+        }
 
     def score_blocks(
         self, graphs: List[Graph]

@@ -1,0 +1,172 @@
+"""The timestamped edge-event model and its two application paths.
+
+An external churn source is a sequence of :class:`EdgeEvent` records —
+``(time, kind, u, v)`` with ``kind`` in ``{ADD, REMOVE}`` over the fixed
+node set.  Two ways to fold a batch of events into a graph:
+
+* :func:`replay_events` — the reference twin: one functional
+  ``add_edges``/``remove_edges`` per event, in order.  Semantically
+  obvious, builds one intermediate graph per event.
+* :func:`apply_events` — the fast path: the batch collapses to its *net
+  effect* (per canonical edge key, the last event wins), applied as one
+  ``add_edges`` plus one ``remove_edges``.  The result carries a single
+  :class:`~repro.graph.graph.GraphDelta` against the input graph's root
+  (chained edits collapse, so caches bound to the root stay eligible).
+
+The two are bitwise equal on edge keys for every event sequence —
+including add-then-remove and remove-then-re-add of the same key inside
+one batch — which the hypothesis suite in ``tests/stream`` pins down.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, NamedTuple, Sequence, Tuple
+
+import numpy as np
+
+from ..graph import Graph
+
+__all__ = [
+    "ADD",
+    "REMOVE",
+    "EdgeEvent",
+    "apply_events",
+    "event_arrays",
+    "net_event_pairs",
+    "replay_events",
+    "validate_events",
+]
+
+#: Event kinds: insert / delete one undirected edge.
+ADD = 1
+REMOVE = -1
+
+
+class EdgeEvent(NamedTuple):
+    """One timestamped undirected edge edit from the external stream."""
+
+    time: int
+    """Monotone stream timestamp (ticks of the generator's clock)."""
+    kind: int
+    """``ADD`` (+1) or ``REMOVE`` (-1)."""
+    u: int
+    v: int
+
+
+def event_arrays(
+    events: Sequence[EdgeEvent],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """``(times, kinds, us, vs)`` int64 columns of an event batch."""
+    if not events:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy(), empty.copy()
+    arr = np.asarray(events, dtype=np.int64)
+    return arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3]
+
+
+def _validate(events: Sequence[EdgeEvent], num_nodes: int) -> np.ndarray:
+    """Kinds/endpoints sanity shared by both application paths.
+
+    Returns the ``(len(events), 4)`` int64 matrix.  Self-loop events are
+    tolerated (both paths skip them identically); out-of-range endpoints
+    and unknown kinds raise, so the fast and reference paths can never
+    diverge on malformed input.
+    """
+    arr = np.asarray(events, dtype=np.int64).reshape(-1, 4)
+    if arr.shape[0]:
+        bad_kind = ~np.isin(arr[:, 1], (ADD, REMOVE))
+        if bad_kind.any():
+            raise ValueError(
+                f"unknown event kind {int(arr[bad_kind][0, 1])}; "
+                f"expected ADD ({ADD}) or REMOVE ({REMOVE})"
+            )
+        uv = arr[:, 2:]
+        out = (uv < 0) | (uv >= num_nodes)
+        if out.any():
+            u, v = (int(x) for x in uv[out.any(axis=1)][0])
+            raise ValueError(
+                f"event edge ({u}, {v}) out of range for N={num_nodes}"
+            )
+    return arr
+
+
+def validate_events(events: Sequence[EdgeEvent], num_nodes: int) -> None:
+    """Public validation hook: raise :class:`ValueError` on malformed
+    events (unknown kind, out-of-range endpoint) without applying them —
+    what the serving layer calls before a churn batch is enqueued."""
+    _validate(events, num_nodes)
+
+
+def net_event_pairs(
+    events: Sequence[EdgeEvent], num_nodes: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Collapse a batch to its net effect: ``(add_pairs, remove_pairs)``.
+
+    Per canonical edge key the **last** event in sequence order wins —
+    an add-then-remove nets to a remove, a remove-then-re-add to an add —
+    so applying the two disjoint pair sets in either order reproduces the
+    sequential replay exactly.  Self-loop events are dropped (the replay
+    path skips them too).
+    """
+    arr = _validate(events, num_nodes)
+    if not arr.shape[0]:
+        empty = np.empty((0, 2), dtype=np.int64)
+        return empty, empty.copy()
+    arr = arr[arr[:, 2] != arr[:, 3]]
+    if not arr.shape[0]:
+        empty = np.empty((0, 2), dtype=np.int64)
+        return empty, empty.copy()
+    lo = np.minimum(arr[:, 2], arr[:, 3])
+    hi = np.maximum(arr[:, 2], arr[:, 3])
+    keys = lo * np.int64(num_nodes) + hi
+    # np.unique keeps the FIRST occurrence; reverse so it keeps the last.
+    rev_keys = keys[::-1]
+    uniq, first_rev = np.unique(rev_keys, return_index=True)
+    last_kind = arr[:, 1][::-1][first_rev]
+    n = np.int64(num_nodes)
+    adds = uniq[last_kind == ADD]
+    removes = uniq[last_kind == REMOVE]
+    return (
+        np.stack([adds // n, adds % n], axis=1),
+        np.stack([removes // n, removes % n], axis=1),
+    )
+
+
+def apply_events(graph: Graph, events: Sequence[EdgeEvent]) -> Graph:
+    """Fold an event batch into ``graph`` as one chained delta edit.
+
+    The net effect (:func:`net_event_pairs`) lands as a single
+    ``add_edges`` + ``remove_edges`` pair, so the result records ONE
+    :class:`~repro.graph.graph.GraphDelta` — collapsed against the
+    root when ``graph`` itself is a derived graph.  Bitwise equal on
+    edge keys to :func:`replay_events` (the per-event reference).
+    """
+    adds, removes = net_event_pairs(events, graph.num_nodes)
+    out = graph
+    if adds.shape[0]:
+        out = out.add_edges(adds)
+    if removes.shape[0]:
+        out = out.remove_edges(removes)
+    return out
+
+
+def replay_events(graph: Graph, events: Sequence[EdgeEvent]) -> Graph:
+    """Reference twin of :func:`apply_events`: one edit per event, in
+    order (add of a present edge and remove of an absent edge are the
+    usual no-ops)."""
+    arr = _validate(events, graph.num_nodes)
+    out = graph
+    for _, kind, u, v in arr.tolist():
+        pair = [(u, v)]
+        out = out.add_edges(pair) if kind == ADD else out.remove_edges(pair)
+    return out
+
+
+def events_from_pairs(
+    pairs: Iterable[Tuple[int, int]], kind: int, start_time: int = 0
+) -> List[EdgeEvent]:
+    """Lift raw ``(u, v)`` pairs into a homogeneous event batch."""
+    return [
+        EdgeEvent(start_time + i, kind, int(u), int(v))
+        for i, (u, v) in enumerate(pairs)
+    ]

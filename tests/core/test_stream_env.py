@@ -1,0 +1,212 @@
+"""Churn parity: sequential vs vectorized envs under live edge churn.
+
+With ``config.stream`` set, both envs drain the SAME seeded event trace
+at the SAME step position (the step prologue, before the agent's move).
+The contract: at ``B = 1`` every observation, reward, info field, memo
+decision, window aggregate and full-graph logit is **byte-identical**
+between :class:`TopologyEnv` and :class:`VecTopologyEnv` — with the
+incremental reward evaluator on or off (the seq-vs-vec axis is bitwise;
+the inc-vs-dense axis is held to the documented 1e-9 halo class of
+``docs/equivalence-policy.md``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RareConfig, TopologyEnv
+from repro.datasets import planted_partition_graph
+from repro.entropy import RelativeEntropy, build_entropy_sequences
+from repro.gnn import Trainer, build_backbone
+from repro.graph import random_split
+from repro.rl.vector import VecTopologyEnv
+from repro.stream import StreamConfig
+
+
+def make_parts(num_nodes=40, stream=None, **config_overrides):
+    """Fresh (graph, sequences, model, trainer, split, config) — identical
+    across calls, so twin envs start from the same model bytes AND the
+    same churn trace (StreamConfig carries its own seed)."""
+    graph = planted_partition_graph(
+        num_nodes=num_nodes, homophily=0.3, feature_signal=0.4,
+        num_features=32, seed=0,
+    )
+    split = random_split(graph.labels, np.random.default_rng(0))
+    entropy = RelativeEntropy.from_graph(graph, lam=1.0)
+    sequences = build_entropy_sequences(graph, entropy, max_candidates=8)
+    config_overrides.setdefault("horizon", 4)
+    config = RareConfig(
+        k_max=4, d_max=4, max_candidates=8,
+        stream=stream or StreamConfig(events_per_step=3, seed=5),
+        **config_overrides,
+    )
+    model = build_backbone(
+        "gcn", graph.num_features, graph.num_classes,
+        hidden=16, rng=np.random.default_rng(0),
+    )
+    trainer = Trainer(model, lr=0.05)
+    return graph, sequences, model, trainer, split, config
+
+
+# ---------------------------------------------------------------------------
+# Seq vs vec under identical churn: bitwise
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("incremental", [False, True])
+def test_b1_churn_byte_identical(incremental):
+    env = TopologyEnv(
+        *make_parts(incremental_reward=incremental), co_train=False
+    )
+    venv = VecTopologyEnv(
+        *make_parts(incremental_reward=incremental),
+        num_envs=1, co_train=False, seed=0,
+    )
+    n = env.base_graph.num_nodes
+    obs_s = env.reset()
+    obs_v = venv.reset()
+    np.testing.assert_array_equal(obs_s, obs_v[0])
+
+    rng = np.random.default_rng(3)
+    for _ in range(6):  # crosses one episode boundary (horizon=4)
+        action = rng.integers(0, 3, 2 * n)
+        obs_s, rew_s, done_s, info_s = env.step(action)
+        obs_v, rew_v, done_v, info_v = venv.step(action[None])
+        assert rew_s == rew_v[0]  # bitwise: same float, not approx
+        assert done_s == bool(done_v[0])
+        for key, val in info_s.items():
+            assert info_v[0][key] == val, key
+        assert info_s["stream_version"] == info_v[0]["stream_version"]
+        assert info_s["stream_events"] == info_v[0]["stream_events"]
+        if done_s:
+            obs_s = env.reset()
+        np.testing.assert_array_equal(obs_s, obs_v[0])
+        # The drifting base topologies stayed bit-for-bit in lockstep.
+        np.testing.assert_array_equal(
+            env.base_graph.edge_keys(), venv.base_graph.edge_keys()
+        )
+    assert env._stream.events_applied == 18
+    assert venv._stream.events_applied == 18
+    # Full-graph logits of the final churned base: byte-identical.
+    np.testing.assert_array_equal(
+        env.model.predict_logits(env.base_graph),
+        venv.model.predict_logits(venv.base_graph),
+    )
+    # Window aggregates: same trace, same integers, same floats.
+    ms, mv = env.stream_metrics(), venv.stream_metrics()
+    assert set(ms) == set(mv)
+    for name in ms:
+        assert np.float64(ms[name]).tobytes() == np.float64(mv[name]).tobytes()
+
+
+def test_parity_survives_rebases():
+    stream = StreamConfig(
+        regime="hubs", events_per_step=6, rebase_threshold=0.1, seed=2
+    )
+    env = TopologyEnv(*make_parts(stream=stream), co_train=False)
+    venv = VecTopologyEnv(
+        *make_parts(stream=stream), num_envs=1, co_train=False, seed=0
+    )
+    n = env.base_graph.num_nodes
+    env.reset()
+    venv.reset()
+    rng = np.random.default_rng(0)
+    for _ in range(10):
+        action = rng.integers(0, 3, 2 * n)
+        _, rew_s, done_s, info_s = env.step(action)
+        _, rew_v, _, info_v = venv.step(action[None])
+        assert rew_s == rew_v[0]
+        assert info_s["stream_version"] == info_v[0]["stream_version"]
+        if done_s:
+            env.reset()
+    # The hub regime at a 0.1 threshold actually exercised the rebase
+    # rebind path in BOTH envs (evaluator + stacked builder + memo keys).
+    assert env._stream.rebases >= 1
+    assert venv._stream.rebases == env._stream.rebases
+    np.testing.assert_array_equal(
+        env.base_graph.edge_keys(), venv.base_graph.edge_keys()
+    )
+    env._online.verify()
+    venv._online.verify()
+
+
+def test_online_window_verifies_inside_the_env():
+    env = TopologyEnv(*make_parts(), co_train=False)
+    env.reset()
+    rng = np.random.default_rng(1)
+    n = env.base_graph.num_nodes
+    for _ in range(8):
+        _, _, done, _ = env.step(rng.integers(0, 3, 2 * n))
+        if done:
+            env.reset()
+    # The env-maintained sliding window is byte-identical to rebuilding
+    # every record from a fresh fully-validated graph.
+    metrics = env._online.verify()
+    assert metrics == env.stream_metrics()
+
+
+# ---------------------------------------------------------------------------
+# Incremental vs dense under churn: the documented 1e-9 class
+# ---------------------------------------------------------------------------
+def test_incremental_vs_dense_rewards_under_churn():
+    dense = TopologyEnv(
+        *make_parts(incremental_reward=False), co_train=False
+    )
+    inc = TopologyEnv(
+        *make_parts(incremental_reward=True), co_train=False
+    )
+    dense.reset()
+    inc.reset()
+    rng = np.random.default_rng(4)
+    n = dense.base_graph.num_nodes
+    for _ in range(6):
+        action = rng.integers(0, 3, 2 * n)
+        _, rew_d, done, info_d = dense.step(action)
+        _, rew_i, _, info_i = inc.step(action)
+        assert rew_i == pytest.approx(rew_d, rel=1e-9, abs=1e-9)
+        assert info_d["num_edges"] == info_i["num_edges"]
+        if done:
+            dense.reset()
+            inc.reset()
+    np.testing.assert_array_equal(
+        dense.base_graph.edge_keys(), inc.base_graph.edge_keys()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Memo invalidation under churn
+# ---------------------------------------------------------------------------
+def test_rewire_memo_is_version_keyed():
+    env = TopologyEnv(*make_parts(), co_train=False)
+    env.reset()
+    k = np.full(env.base_graph.num_nodes, 1)
+    d = np.full(env.base_graph.num_nodes, 1)
+    before = env._rewired(k, d)
+    assert env._rewired(k, d) is before  # same version: memo hit
+    version = env._stream.version
+    while env._stream.version == version:  # drain until effective churn
+        env._advance_stream()
+    after = env._rewired(k, d)
+    # New stream version: the memoised pre-churn graph is never served.
+    assert after is not before
+    assert after.delta is None or after.delta.base is env._stream.root
+
+
+# ---------------------------------------------------------------------------
+# Config plumbing
+# ---------------------------------------------------------------------------
+def test_rare_config_validates_stream():
+    with pytest.raises(ValueError, match="regime"):
+        RareConfig(stream=StreamConfig(regime="nope"))
+    with pytest.raises(ValueError, match="stream"):
+        RareConfig(stream="drift")
+    assert RareConfig(stream=StreamConfig()).stream.window == 32
+    assert RareConfig().stream is None
+
+
+def test_non_streaming_env_has_no_stream_state():
+    graph, sequences, model, trainer, split, _ = make_parts()
+    config = RareConfig(k_max=4, d_max=4, max_candidates=8, horizon=4)
+    env = TopologyEnv(
+        graph, sequences, model, trainer, split, config, co_train=False
+    )
+    assert env._stream is None and env.stream_metrics() == {}
+    _, _, _, info = env.step(env.sample_action())
+    assert "stream_version" not in info

@@ -77,6 +77,95 @@ def test_temporal_rare_end_to_end(snapshots):
     assert not np.isnan(result.per_snapshot[-1].baseline_test_acc)
 
 
+def test_snapshots_chain_as_one_delta_against_the_base(snapshots):
+    """Later snapshots are base + ONE collapsed GraphDelta — the shape
+    every root-bound cache (incremental evaluator, streaming engine,
+    stacked builder) keys on."""
+    base = snapshots[0]
+    assert base.delta is None
+    for snap in snapshots[1:]:
+        assert snap.delta is not None
+        assert snap.delta.base is base
+        # The recorded edits are genuine and disjoint.
+        assert np.isin(snap.delta.removed, base.edge_keys()).all()
+        assert not np.isin(snap.delta.added, base.edge_keys()).any()
+        assert np.intersect1d(snap.delta.added, snap.delta.removed).size == 0
+
+
+def test_empty_drift_step_reuses_the_base_edges():
+    """drift=0.0 keeps every base edge; a snapshot that ends up with the
+    identical edge set IS the base object (no spurious delta)."""
+    snaps = drifting_snapshots(spec(), num_snapshots=3, drift=0.0, seed=0)
+    base = snaps[0]
+    for snap in snaps[1:]:
+        # Nothing was removed: the base edge set survives intact.
+        assert np.isin(base.edge_keys(), snap.edge_keys()).all()
+        if snap.num_edges == base.num_edges:
+            assert snap is base
+
+
+def test_duplicate_resampled_edges_collapse():
+    """Full replacement (drift=1.0): resampled edges that duplicate a
+    kept or earlier-sampled edge collapse into the set — snapshots never
+    carry duplicate keys, in either orientation."""
+    snaps = drifting_snapshots(spec(), num_snapshots=4, drift=1.0, seed=1)
+    for snap in snaps:
+        keys = snap.edge_keys()
+        assert np.unique(keys).size == keys.size
+        arr = snap.edge_array()
+        assert (arr[:, 0] < arr[:, 1]).all()  # canonical orientation
+
+
+def test_cross_snapshot_evaluator_invalidation(snapshots):
+    """An IncrementalEvaluator bound to the first snapshot scores every
+    later one through its delta (at the documented 1e-9 halo class) and
+    never serves stale activations across a weight update."""
+    from repro.gnn import IncrementalEvaluator, Trainer, build_backbone, evaluate
+
+    base = snapshots[0]
+    split = random_split(base.labels, np.random.default_rng(0))
+    model = build_backbone(
+        "gcn", base.num_features, base.num_classes,
+        hidden=16, rng=np.random.default_rng(0),
+    )
+    evaluator = IncrementalEvaluator(model, base)
+    for snap in snapshots:
+        acc_i, loss_i = evaluator.evaluate(snap, split.train)
+        acc_d, loss_d = evaluate(model, snap, split.train)
+        assert acc_i == pytest.approx(acc_d, abs=1e-9)
+        assert loss_i == pytest.approx(loss_d, abs=1e-9)
+    # A weight update must invalidate the cached base activations.
+    Trainer(model, lr=0.05).fit(base, split, epochs=2, patience=2)
+    evaluator.invalidate()
+    for snap in snapshots:
+        acc_i, loss_i = evaluator.evaluate(snap, split.train)
+        acc_d, loss_d = evaluate(model, snap, split.train)
+        assert acc_i == pytest.approx(acc_d, abs=1e-9)
+        assert loss_i == pytest.approx(loss_d, abs=1e-9)
+    assert dict(evaluator.stats)["invalidations"] == 1
+
+
+def test_temporal_fit_warm_starts_across_snapshots(snapshots):
+    """The co-trained backbone threads through the snapshot sequence:
+    one model object carries the whole temporal trajectory (what the
+    docstring promises), while baselines/final evals stay fresh."""
+    split = random_split(snapshots[0].labels, np.random.default_rng(0))
+    cfg = RareConfig(
+        k_max=2, d_max=2, max_candidates=8, episodes=1, horizon=2,
+        co_train_epochs=2, final_epochs=5, final_patience=3, seed=0,
+    )
+    result = TemporalGraphRARE("gcn", cfg).fit(snapshots, split)
+    carried = {id(r.co_trained_model) for r in result.per_snapshot}
+    assert len(carried) == 1
+    assert result.per_snapshot[0].co_trained_model is not None
+    # Independent single-graph runs do NOT share a model.
+    from repro.core import GraphRARE
+
+    a = GraphRARE("gcn", cfg).fit(snapshots[0], split, train_baseline=False)
+    b = GraphRARE("gcn", cfg).fit(snapshots[0], split, train_baseline=False)
+    assert a.co_trained_model is not b.co_trained_model
+
+
 def test_temporal_rare_validation(snapshots):
     split = random_split(snapshots[0].labels, np.random.default_rng(0))
     model = TemporalGraphRARE("gcn", RareConfig(episodes=1, horizon=2))

@@ -32,8 +32,11 @@ class FakeArtifact:
         self.rewires = 0
         self.score_calls = []
 
+    def memo_key(self, k, d):
+        return k.tobytes() + d.tobytes()
+
     def rewired(self, k, d, memo):
-        key = k.tobytes() + d.tobytes()
+        key = self.memo_key(k, d)
         graph = memo.get(key)
         if graph is None:
             self.rewires += 1

@@ -1,0 +1,234 @@
+"""Hypothesis property suite for the event model (repro.stream.events).
+
+The central contract: folding an event batch in as one net-effect delta
+(:func:`apply_events`) is **bitwise equal** on edge keys to replaying the
+events one at a time (:func:`replay_events`) — and to replaying them on a
+brand-new graph built from the same starting edges.  This must hold for
+every interleaving of external events with the agent's own delta edits,
+including add-then-remove and remove-then-re-add of the same edge key.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph
+from repro.stream import (
+    ADD,
+    REMOVE,
+    EdgeEvent,
+    apply_events,
+    event_arrays,
+    events_from_pairs,
+    net_event_pairs,
+    replay_events,
+    validate_events,
+)
+
+N = 10
+
+node = st.integers(0, N - 1)
+raw_pairs = st.lists(st.tuples(node, node), max_size=25)
+raw_events = st.lists(
+    st.tuples(st.sampled_from([ADD, REMOVE]), node, node), max_size=40
+)
+
+
+def build_graph(pairs):
+    """A Graph over N nodes from raw (possibly duplicated) pairs."""
+    clean = [(min(u, v), max(u, v)) for u, v in pairs if u != v]
+    arr = np.array(sorted(set(clean)), dtype=np.int64).reshape(-1, 2)
+    rng = np.random.default_rng(0)
+    return Graph(
+        N, arr,
+        features=rng.normal(size=(N, 4)),
+        labels=rng.integers(0, 3, N),
+    )
+
+
+def lift(raw):
+    """Stamp raw (kind, u, v) triples into timed EdgeEvents."""
+    return [EdgeEvent(t, kind, u, v) for t, (kind, u, v) in enumerate(raw)]
+
+
+# ---------------------------------------------------------------------------
+# apply == replay == fresh replay, bitwise
+# ---------------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(raw_pairs, raw_events)
+def test_apply_equals_replay_bitwise(pairs, raw):
+    g = build_graph(pairs)
+    events = lift(raw)
+    fast = apply_events(g, events)
+    slow = replay_events(g, events)
+    np.testing.assert_array_equal(fast.edge_keys(), slow.edge_keys())
+    # ... and equal to replaying on a brand-new graph with the same edges.
+    twin = Graph(N, g.edge_array(), features=g.features, labels=g.labels)
+    np.testing.assert_array_equal(
+        fast.edge_keys(), replay_events(twin, events).edge_keys()
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(raw_pairs, raw_events)
+def test_apply_records_one_collapsed_delta(pairs, raw):
+    g = build_graph(pairs)
+    fast = apply_events(g, lift(raw))
+    if fast is g:  # empty net effect returns the input graph
+        return
+    assert fast.delta is not None and fast.delta.base is g
+    # Replaying the delta's net keys on the base reproduces the result.
+    replayed = np.setdiff1d(
+        g.edge_keys(), fast.delta.removed, assume_unique=True
+    )
+    replayed = np.union1d(replayed, fast.delta.added)
+    np.testing.assert_array_equal(replayed, fast.edge_keys())
+    # The recorded edits are genuine: adds absent from, removes present
+    # in, the base edge set.
+    assert not np.isin(fast.delta.added, g.edge_keys()).any()
+    assert np.isin(fast.delta.removed, g.edge_keys()).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(raw_pairs, raw_events, raw_events)
+def test_interleaved_external_and_agent_edits_collapse(pairs, raw_a, raw_b):
+    """External churn + agent-style add/remove edits, interleaved: the
+    chained graph stays one delta against the root and is bitwise equal
+    to replaying every edit on a fresh graph."""
+    g = build_graph(pairs)
+    current = apply_events(g, lift(raw_a))
+    # Agent-style edit in the middle: functional add/remove of raw pairs.
+    agent_adds = np.array([[0, 1], [2, 5]], dtype=np.int64)
+    agent_removes = np.array([[3, 4]], dtype=np.int64)
+    current = current.add_edges(agent_adds).remove_edges(agent_removes)
+    current = apply_events(current, lift(raw_b))
+    if current.delta is not None:
+        assert current.delta.base is g  # still ONE collapsed delta
+    # Fresh-graph replay of the same interleaving.
+    twin = Graph(N, g.edge_array(), features=g.features, labels=g.labels)
+    twin = replay_events(twin, lift(raw_a))
+    twin = twin.add_edges(agent_adds).remove_edges(agent_removes)
+    twin = replay_events(twin, lift(raw_b))
+    np.testing.assert_array_equal(current.edge_keys(), twin.edge_keys())
+
+
+# ---------------------------------------------------------------------------
+# Same-key sequences: last event wins
+# ---------------------------------------------------------------------------
+def test_add_then_remove_same_key_nets_to_remove():
+    g = build_graph([(0, 1), (2, 3)])
+    events = lift([(ADD, 4, 5), (REMOVE, 5, 4)])
+    out = apply_events(g, events)
+    np.testing.assert_array_equal(out.edge_keys(), g.edge_keys())
+    np.testing.assert_array_equal(
+        out.edge_keys(), replay_events(g, events).edge_keys()
+    )
+    # On a present edge: add (no-op) then remove deletes it.
+    events = lift([(ADD, 0, 1), (REMOVE, 0, 1)])
+    out = apply_events(g, events)
+    assert out.num_edges == g.num_edges - 1
+    np.testing.assert_array_equal(
+        out.edge_keys(), replay_events(g, events).edge_keys()
+    )
+
+
+def test_remove_then_re_add_same_key_nets_to_add():
+    g = build_graph([(0, 1), (2, 3)])
+    events = lift([(REMOVE, 0, 1), (ADD, 1, 0)])
+    out = apply_events(g, events)
+    np.testing.assert_array_equal(out.edge_keys(), g.edge_keys())
+    np.testing.assert_array_equal(
+        out.edge_keys(), replay_events(g, events).edge_keys()
+    )
+    # On an absent edge: remove (no-op) then add inserts it.
+    events = lift([(REMOVE, 7, 8), (ADD, 7, 8)])
+    out = apply_events(g, events)
+    assert out.num_edges == g.num_edges + 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.sampled_from([ADD, REMOVE]), min_size=1, max_size=9))
+def test_long_same_key_chains_follow_last_event(kinds):
+    """Any add/remove chain on ONE key nets to its final event."""
+    g = build_graph([(0, 1)])
+    events = lift([(kind, 4, 5) for kind in kinds])
+    out = apply_events(g, events)
+    has_edge = bool(np.isin(np.int64(4) * N + 5, out.edge_keys()).any())
+    assert has_edge == (kinds[-1] == ADD)
+    np.testing.assert_array_equal(
+        out.edge_keys(), replay_events(g, events).edge_keys()
+    )
+
+
+# ---------------------------------------------------------------------------
+# net_event_pairs
+# ---------------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(raw_events)
+def test_net_pairs_disjoint_and_canonical(raw):
+    adds, removes = net_event_pairs(lift(raw), N)
+    akeys = adds[:, 0] * N + adds[:, 1]
+    rkeys = removes[:, 0] * N + removes[:, 1]
+    assert np.intersect1d(akeys, rkeys).size == 0
+    assert (adds[:, 0] < adds[:, 1]).all()
+    assert (removes[:, 0] < removes[:, 1]).all()
+    # One entry per touched non-loop key.
+    touched = {
+        (min(u, v), max(u, v)) for _, u, v in raw if u != v
+    }
+    assert len(touched) == akeys.size + rkeys.size
+
+
+def test_net_pairs_empty_batch():
+    adds, removes = net_event_pairs([], N)
+    assert adds.shape == (0, 2) and removes.shape == (0, 2)
+    g = build_graph([(0, 1)])
+    assert apply_events(g, []) is g
+
+
+# ---------------------------------------------------------------------------
+# Validation: fast and reference paths can never diverge
+# ---------------------------------------------------------------------------
+def test_out_of_range_raises_in_both_paths():
+    g = build_graph([(0, 1)])
+    bad = [EdgeEvent(0, ADD, 0, N)]
+    with pytest.raises(ValueError, match="out of range"):
+        apply_events(g, bad)
+    with pytest.raises(ValueError, match="out of range"):
+        replay_events(g, bad)
+    with pytest.raises(ValueError, match="out of range"):
+        validate_events(bad, N)
+
+
+def test_unknown_kind_raises_in_both_paths():
+    g = build_graph([(0, 1)])
+    bad = [EdgeEvent(0, 7, 0, 1)]
+    with pytest.raises(ValueError, match="unknown event kind"):
+        apply_events(g, bad)
+    with pytest.raises(ValueError, match="unknown event kind"):
+        replay_events(g, bad)
+
+
+def test_self_loop_events_skipped_identically():
+    g = build_graph([(0, 1)])
+    events = lift([(ADD, 3, 3), (REMOVE, 0, 0), (ADD, 5, 6)])
+    fast = apply_events(g, events)
+    slow = replay_events(g, events)
+    np.testing.assert_array_equal(fast.edge_keys(), slow.edge_keys())
+    assert fast.num_edges == g.num_edges + 1  # only the (5, 6) add lands
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+def test_events_from_pairs_and_arrays_roundtrip():
+    events = events_from_pairs([(0, 1), (2, 3)], ADD, start_time=5)
+    assert events == [EdgeEvent(5, ADD, 0, 1), EdgeEvent(6, ADD, 2, 3)]
+    times, kinds, us, vs = event_arrays(events)
+    np.testing.assert_array_equal(times, [5, 6])
+    np.testing.assert_array_equal(kinds, [ADD, ADD])
+    np.testing.assert_array_equal(us, [0, 2])
+    np.testing.assert_array_equal(vs, [1, 3])
+    empty = event_arrays([])
+    assert all(a.shape == (0,) for a in empty)

@@ -1,0 +1,214 @@
+"""Churn generators: determinism, validity, regime shapes.
+
+The determinism contract under test: for a fixed ``(graph, seed)`` the
+emitted event sequence is identical however the consumer slices it —
+``take(4)`` twice equals ``take(8)`` — because that is what lets the
+sequential and vectorized envs (and the serving soak test) replay one
+churn trace bit for bit.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.stream import (
+    ADD,
+    REMOVE,
+    BurstStream,
+    DriftStream,
+    HubStream,
+    StreamConfig,
+    apply_events,
+    make_stream,
+    replay_events,
+)
+
+N = 30
+
+
+def make_graph(seed=0, num_edges=60):
+    rng = np.random.default_rng(seed)
+    pairs = set()
+    while len(pairs) < num_edges:
+        u, v = rng.integers(N, size=2)
+        if u != v:
+            pairs.add((min(u, v), max(u, v)))
+    arr = np.array(sorted(pairs), dtype=np.int64)
+    return Graph(
+        N, arr,
+        features=rng.normal(size=(N, 4)),
+        labels=rng.integers(0, 3, N),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Determinism and slicing-independence
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("regime", ["drift", "burst", "hubs"])
+def test_trace_is_slicing_independent(regime):
+    g = make_graph()
+    whole = make_stream(g, StreamConfig(regime=regime, seed=3)).take(40)
+    sliced_stream = make_stream(g, StreamConfig(regime=regime, seed=3))
+    sliced = []
+    for chunk in (4, 4, 16, 7, 9):
+        sliced.extend(sliced_stream.take(chunk))
+    assert whole == sliced
+
+
+@pytest.mark.parametrize("regime", ["drift", "burst", "hubs"])
+def test_different_seeds_diverge(regime):
+    g = make_graph()
+    a = make_stream(g, StreamConfig(regime=regime, seed=0)).take(30)
+    b = make_stream(g, StreamConfig(regime=regime, seed=1)).take(30)
+    assert a != b
+
+
+def test_timestamps_are_the_event_index():
+    stream = make_stream(make_graph(), StreamConfig(seed=0))
+    events = stream.take(25)
+    assert [e.time for e in events] == list(range(25))
+
+
+# ---------------------------------------------------------------------------
+# Event validity: removes hit present edges, adds hit absent pairs
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("regime", ["drift", "burst", "hubs"])
+def test_events_are_effective_against_the_live_edge_set(regime):
+    g = make_graph()
+    stream = make_stream(g, StreamConfig(regime=regime, seed=5))
+    present = set(map(tuple, g.edge_array().tolist()))
+    for event in stream.take(120):
+        pair = (event.u, event.v)
+        assert event.u < event.v
+        if event.kind == ADD:
+            assert pair not in present
+            present.add(pair)
+        else:
+            assert event.kind == REMOVE
+            assert pair in present
+            present.discard(pair)
+    # The generator's internal mirror agrees with the independent replay.
+    assert stream._present == present
+    # ... and with actually applying the trace to the graph.
+    replayed = make_stream(g, StreamConfig(regime=regime, seed=5))
+    out = apply_events(g, replayed.take(120))
+    assert set(map(tuple, out.edge_array().tolist())) == present
+
+
+@pytest.mark.parametrize("regime", ["drift", "burst", "hubs"])
+def test_traces_apply_and_replay_identically(regime):
+    g = make_graph(seed=2)
+    events = make_stream(g, StreamConfig(regime=regime, seed=9)).take(80)
+    np.testing.assert_array_equal(
+        apply_events(g, events).edge_keys(),
+        replay_events(g, events).edge_keys(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Regime shapes
+# ---------------------------------------------------------------------------
+def test_hub_stream_events_all_touch_a_hub():
+    g = make_graph()
+    stream = HubStream(g, seed=1, hub_frac=0.1)
+    hubs = set(stream.hubs.tolist())
+    assert 1 <= len(hubs) <= max(1, round(0.1 * N))
+    # Hubs are the top-degree nodes of the start graph.
+    degrees = g.degrees()
+    cutoff = min(degrees[list(hubs)])
+    assert all(degrees[h] >= cutoff for h in hubs)
+    for event in stream.take(100):
+        assert event.u in hubs or event.v in hubs
+
+
+def test_burst_stream_phases():
+    g = make_graph()
+    stream = BurstStream(g, seed=4, quiet_len=5, burst_len=6)
+    events = stream.take(5 + 6 + 5 + 6)
+    # The first burst: events 5..10 all share one focal node.
+    burst = events[5:11]
+    focal = set(range(N))
+    for event in burst:
+        focal &= {event.u, event.v}
+    assert len(focal) >= 1
+    # The second burst (after another quiet phase) picks its own focus.
+    burst2 = events[16:22]
+    focal2 = set(range(N))
+    for event in burst2:
+        focal2 &= {event.u, event.v}
+    assert len(focal2) >= 1
+
+
+def test_burst_stream_rejects_degenerate_phases():
+    g = make_graph()
+    with pytest.raises(ValueError, match="quiet_len and burst_len"):
+        BurstStream(g, quiet_len=0)
+    with pytest.raises(ValueError, match="quiet_len and burst_len"):
+        BurstStream(g, burst_len=0)
+
+
+def test_hub_stream_rejects_bad_fraction():
+    g = make_graph()
+    for bad in (0.0, -0.5, 1.5):
+        with pytest.raises(ValueError, match="hub_frac"):
+            HubStream(g, hub_frac=bad)
+
+
+def test_drift_keeps_streaming_on_a_near_empty_graph():
+    """The pathological corner: drift never stalls even when there is
+    nothing left to remove."""
+    g = Graph(3, np.empty((0, 2), dtype=np.int64))
+    stream = DriftStream(g, seed=0)
+    events = stream.take(20)
+    assert len(events) == 20  # no exception, no stall
+
+
+def test_take_rejects_negative_count():
+    stream = DriftStream(make_graph(), seed=0)
+    with pytest.raises(ValueError, match="count must be >= 0"):
+        stream.take(-1)
+    assert stream.take(0) == []
+
+
+# ---------------------------------------------------------------------------
+# make_stream and StreamConfig
+# ---------------------------------------------------------------------------
+def test_make_stream_regime_dispatch():
+    g = make_graph()
+    assert isinstance(make_stream(g, StreamConfig(regime="drift")), DriftStream)
+    assert isinstance(make_stream(g, StreamConfig(regime="burst")), BurstStream)
+    assert isinstance(make_stream(g, StreamConfig(regime="hubs")), HubStream)
+    assert isinstance(make_stream(g), DriftStream)  # default config
+
+
+def test_make_stream_overrides_replace_config_fields():
+    g = make_graph()
+    overridden = make_stream(g, StreamConfig(seed=0), seed=7).take(20)
+    direct = make_stream(g, StreamConfig(seed=7)).take(20)
+    assert overridden == direct
+    assert isinstance(
+        make_stream(g, StreamConfig(regime="drift"), regime="hubs"),
+        HubStream,
+    )
+
+
+def test_stream_config_validate_errors():
+    with pytest.raises(ValueError, match="regime"):
+        StreamConfig(regime="tsunami").validate()
+    with pytest.raises(ValueError, match="events_per_step"):
+        StreamConfig(events_per_step=0).validate()
+    with pytest.raises(ValueError, match="rebase_threshold"):
+        StreamConfig(rebase_threshold=0.0).validate()
+    with pytest.raises(ValueError, match="rebase_threshold"):
+        StreamConfig(rebase_threshold=1.5).validate()
+    with pytest.raises(ValueError, match="window"):
+        StreamConfig(window=0).validate()
+    StreamConfig().validate()  # defaults are valid
+
+
+def test_stream_config_is_frozen():
+    cfg = StreamConfig()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        cfg.seed = 3
